@@ -1,0 +1,75 @@
+// Ablation C: the super-space argument of Proposition 1.  The adaptation
+// spaces form a strict inclusion chain
+//
+//   switching {e_i}  ⊂  finite simplex grid ([11])  ⊂  box [-1, 1]^n
+//                    ⊂  box [-1.5, 1.5]^n  (AB = 1.5, Cocktail)
+//
+// so the attainable reward (and in practice the safe control rate) should
+// be monotone along the chain.  All learners share budgets and seeds.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/mixing.h"
+#include "sys/registry.h"
+#include "util/csv.h"
+#include "util/paths.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace cocktail;
+  bench::print_banner("Ablation: adaptation action space",
+                      "Proposition 1 (switching vs weighted mixing)");
+
+  const auto artifacts = bench::load_pipeline("vanderpol");
+  const auto base = core::default_pipeline_config("vanderpol");
+
+  // Reduced shared budget: this ablation trains three fresh policies.
+  rl::PpoConfig ppo = base.mixing.ppo;
+  ppo.iterations = 25;
+
+  util::CsvWriter csv(util::output_dir() + "/ablation_actionspace.csv",
+                      {"action_space", "final_return", "clean_sr_pct",
+                       "clean_energy"});
+  std::printf("\n%-18s %14s %10s %12s\n", "action space", "final-return",
+              "Sr (%)", "e");
+
+  auto report = [&](const std::string& label, double final_return,
+                    const ctrl::Controller& controller) {
+    const auto clean = bench::evaluate_clean(*artifacts.system, controller);
+    std::printf("%-18s %14.2f %10.1f %12.1f\n", label.c_str(), final_return,
+                100.0 * clean.safe_rate, clean.mean_energy);
+    csv.row_text({label, util::format_number(final_return),
+                  util::format_number(100.0 * clean.safe_rate),
+                  util::format_number(clean.mean_energy)});
+  };
+
+  {
+    core::SwitchingConfig config;
+    config.ppo = ppo;
+    const auto result =
+        core::train_switching(artifacts.system, artifacts.experts, config);
+    report("switching (AS)", result.stats.final_return_mean(),
+           *result.controller);
+  }
+  {
+    core::FiniteWeightedConfig config;
+    config.resolution = 4;
+    config.ppo = ppo;
+    const auto result = core::train_finite_weighted(
+        artifacts.system, artifacts.experts, config);
+    report("simplex grid [11]", result.stats.final_return_mean(),
+           *result.controller);
+  }
+  for (const double bound : {1.0, 1.5}) {
+    core::MixingConfig config;
+    config.weight_bound = bound;
+    config.ppo = ppo;
+    const auto result = core::train_adaptive_mixing(
+        artifacts.system, artifacts.experts, config);
+    report(util::format("mixing AB=%.1f", bound),
+           result.stats.final_return_mean(), *result.controller);
+  }
+  std::printf("\nCSV written to %s\n",
+              (util::output_dir() + "/ablation_actionspace.csv").c_str());
+  return 0;
+}

@@ -1,0 +1,62 @@
+#include "bench_common.h"
+
+#include <cstdio>
+
+#include "attack/fgsm.h"
+#include "attack/perturbation.h"
+#include "sys/registry.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cocktail::bench {
+
+core::PipelineArtifacts load_pipeline(const std::string& system_name) {
+  util::set_log_level(util::LogLevel::kInfo);
+  sys::SystemPtr system = sys::make_system(system_name);
+  const auto config = core::default_pipeline_config(system_name);
+  return core::run_pipeline(system, config);
+}
+
+core::EvalResult evaluate_clean(const sys::System& system,
+                                const ctrl::Controller& controller) {
+  core::EvalConfig config;
+  config.num_initial_states = kEvalStates;
+  config.seed = kEvalSeed;
+  return core::evaluate(system, controller, config);
+}
+
+core::EvalResult evaluate_attacked(const sys::System& system,
+                                   const ctrl::Controller& controller,
+                                   double fraction) {
+  core::EvalConfig config;
+  config.num_initial_states = kEvalStates;
+  config.seed = kEvalSeed;
+  config.perturbation = std::make_shared<attack::FgsmAttack>(
+      attack::perturbation_bound(system, fraction));
+  return core::evaluate(system, controller, config);
+}
+
+core::EvalResult evaluate_noisy(const sys::System& system,
+                                const ctrl::Controller& controller,
+                                double fraction) {
+  core::EvalConfig config;
+  config.num_initial_states = kEvalStates;
+  config.seed = kEvalSeed;
+  config.perturbation = std::make_shared<attack::UniformNoise>(
+      attack::perturbation_bound(system, fraction));
+  return core::evaluate(system, controller, config);
+}
+
+std::string format_lipschitz(double value) {
+  if (value < 0.0) return "-";
+  return util::format("%.2f", value);
+}
+
+void print_banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("Cocktail (DAC 2021) reproduction — %s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace cocktail::bench

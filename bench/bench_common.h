@@ -1,0 +1,47 @@
+// Shared helpers for the paper-reproduction bench binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "control/controller.h"
+#include "core/metrics.h"
+#include "core/pipeline.h"
+#include "sys/system.h"
+
+namespace cocktail::bench {
+
+/// Evaluation sample count: the paper samples 500 initial states.
+inline constexpr int kEvalStates = 500;
+/// Common evaluation seed so every bench compares on the same states.
+inline constexpr std::uint64_t kEvalSeed = 424242;
+/// Attack / noise magnitudes: "between 10%-15% of the system state value
+/// bound" (Section IV).
+inline constexpr double kAttackFraction = 0.12;
+inline constexpr double kNoiseFraction = 0.10;
+
+/// Loads (or trains into the shared cache) the full pipeline of a system.
+[[nodiscard]] core::PipelineArtifacts load_pipeline(const std::string& system_name);
+
+/// Clean evaluation with the shared seed.
+[[nodiscard]] core::EvalResult evaluate_clean(const sys::System& system,
+                                              const ctrl::Controller& controller);
+
+/// Evaluation under the closed-loop FGSM attack.
+[[nodiscard]] core::EvalResult evaluate_attacked(
+    const sys::System& system, const ctrl::Controller& controller,
+    double fraction = kAttackFraction);
+
+/// Evaluation under uniform measurement noise.
+[[nodiscard]] core::EvalResult evaluate_noisy(
+    const sys::System& system, const ctrl::Controller& controller,
+    double fraction = kNoiseFraction);
+
+/// Formats a Lipschitz value, printing "-" for uncertified controllers as
+/// Table I does.
+[[nodiscard]] std::string format_lipschitz(double value);
+
+/// Prints the bench banner with the reproduction context.
+void print_banner(const std::string& title, const std::string& paper_ref);
+
+}  // namespace cocktail::bench

@@ -1,0 +1,133 @@
+// Micro-benchmarks of the substrate kernels (google-benchmark): NN
+// inference/backprop, interval dynamics, Bernstein abstraction, FGSM, and
+// a full closed-loop rollout step.  These bound the cost models behind the
+// training/verification budgets quoted in DESIGN.md.
+#include <benchmark/benchmark.h>
+
+#include "attack/fgsm.h"
+#include "control/nn_controller.h"
+#include "core/rollout.h"
+#include "nn/loss.h"
+#include "nn/mlp.h"
+#include "sys/cartpole.h"
+#include "sys/vanderpol.h"
+#include "verify/bernstein.h"
+#include "verify/interval_dynamics.h"
+#include "verify/nn_abstraction.h"
+
+namespace {
+
+using namespace cocktail;
+
+void BM_MlpForward(benchmark::State& state) {
+  const auto width = static_cast<std::size_t>(state.range(0));
+  const nn::Mlp net = nn::Mlp::make(4, {width, width}, 1,
+                                    nn::Activation::kTanh,
+                                    nn::Activation::kIdentity, 1);
+  const la::Vec x = {0.1, -0.2, 0.3, -0.4};
+  for (auto _ : state) benchmark::DoNotOptimize(net.forward(x));
+}
+BENCHMARK(BM_MlpForward)->Arg(24)->Arg(64)->Arg(128);
+
+void BM_MlpBackward(benchmark::State& state) {
+  const auto width = static_cast<std::size_t>(state.range(0));
+  const nn::Mlp net = nn::Mlp::make(4, {width, width}, 1,
+                                    nn::Activation::kTanh,
+                                    nn::Activation::kIdentity, 1);
+  const la::Vec x = {0.1, -0.2, 0.3, -0.4};
+  const la::Vec target = {0.5};
+  nn::Gradients grads = net.zero_gradients();
+  for (auto _ : state) {
+    nn::Mlp::Workspace ws;
+    const la::Vec y = net.forward(x, ws);
+    benchmark::DoNotOptimize(
+        net.backward(ws, nn::mse_gradient(y, target), grads));
+  }
+}
+BENCHMARK(BM_MlpBackward)->Arg(24)->Arg(64);
+
+void BM_MlpInputGradient(benchmark::State& state) {
+  const nn::Mlp net = nn::Mlp::make(4, {64, 64}, 1, nn::Activation::kTanh,
+                                    nn::Activation::kIdentity, 1);
+  const la::Vec x = {0.1, -0.2, 0.3, -0.4};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(net.input_gradient(x, {1.0}));
+}
+BENCHMARK(BM_MlpInputGradient);
+
+void BM_VanDerPolStep(benchmark::State& state) {
+  const sys::VanDerPol system;
+  la::Vec s = {0.5, -0.5};
+  const la::Vec u = {1.0};
+  const la::Vec w = {0.01};
+  for (auto _ : state) {
+    s = system.step(s, u, w);
+    benchmark::DoNotOptimize(s);
+    s = {0.5, -0.5};
+  }
+}
+BENCHMARK(BM_VanDerPolStep);
+
+void BM_CartPoleIntervalStep(benchmark::State& state) {
+  const sys::CartPole system;
+  const auto dynamics = verify::make_interval_dynamics(system);
+  const verify::IBox box = verify::make_box({-0.1, -0.1, -0.05, -0.1},
+                                            {0.1, 0.1, 0.05, 0.1});
+  const verify::IBox u = {verify::Interval(-1.0, 1.0)};
+  for (auto _ : state) benchmark::DoNotOptimize(dynamics->step(box, u));
+}
+BENCHMARK(BM_CartPoleIntervalStep);
+
+void BM_BernsteinFit(benchmark::State& state) {
+  const int degree = static_cast<int>(state.range(0));
+  const nn::Mlp net = nn::Mlp::make(2, {24}, 1, nn::Activation::kTanh,
+                                    nn::Activation::kIdentity, 1);
+  const verify::IBox box = verify::make_box({-1.0, -1.0}, {1.0, 1.0});
+  for (auto _ : state)
+    benchmark::DoNotOptimize(verify::BernsteinPoly::fit(
+        [&](const la::Vec& x) { return net.forward(x)[0]; }, box,
+        {degree, degree}));
+}
+BENCHMARK(BM_BernsteinFit)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_NnAbstractionEnclose(benchmark::State& state) {
+  nn::Mlp net = nn::Mlp::make(2, {24}, 1, nn::Activation::kTanh,
+                              nn::Activation::kIdentity, 1);
+  const ctrl::NnController controller(std::move(net), {1.0}, "k");
+  verify::AbstractionConfig config;
+  config.epsilon_target = 0.5;
+  const verify::NnAbstraction abstraction(controller, config);
+  const verify::IBox box = verify::make_box({-0.1, -0.1}, {0.1, 0.1});
+  const verify::IBox u_bounds = {verify::Interval(-20.0, 20.0)};
+  for (auto _ : state) {
+    verify::VerificationBudget budget;
+    benchmark::DoNotOptimize(abstraction.enclose(box, u_bounds, budget));
+  }
+}
+BENCHMARK(BM_NnAbstractionEnclose);
+
+void BM_FgsmPerturb(benchmark::State& state) {
+  nn::Mlp net = nn::Mlp::make(2, {24, 24}, 1, nn::Activation::kTanh,
+                              nn::Activation::kIdentity, 1);
+  const ctrl::NnController controller(std::move(net), {1.0}, "k");
+  const attack::FgsmAttack fgsm({0.2, 0.2});
+  util::Rng rng(1);
+  const la::Vec s = {0.3, -0.3};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(fgsm.perturb(s, controller, rng));
+}
+BENCHMARK(BM_FgsmPerturb);
+
+void BM_ClosedLoopRollout(benchmark::State& state) {
+  const auto system = std::make_shared<sys::VanDerPol>();
+  nn::Mlp net = nn::Mlp::make(2, {24}, 1, nn::Activation::kTanh,
+                              nn::Activation::kIdentity, 1);
+  const ctrl::NnController controller(std::move(net), {1.0}, "k");
+  util::Rng rng(1);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        core::rollout(*system, controller, {0.5, 0.5}, nullptr, rng));
+}
+BENCHMARK(BM_ClosedLoopRollout);
+
+}  // namespace

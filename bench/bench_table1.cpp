@@ -1,0 +1,51 @@
+// Table I reproduction: safe control rate Sr, control energy e, and
+// Lipschitz constant L for κ1, κ2, AS, AW, κD, κ* on all three systems,
+// without attacks or measurement noises.
+//
+// Shape that must hold (absolute numbers depend on retrained experts):
+//   * Sr: κ*, κD, AW  >  AS  >  max(κ1, κ2)
+//   * e:  e(κ*) < e(κD) and e(κ*) < e(AW)
+//   * L:  L(κ*) < L(κD); AS/AW print "-" (no certified bound)
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/stats.h"
+#include "sys/registry.h"
+#include "util/csv.h"
+#include "util/paths.h"
+
+int main() {
+  using namespace cocktail;
+  bench::print_banner("Table I", "paper Table I (comparison with baselines)");
+
+  util::CsvWriter csv(util::output_dir() + "/table1.csv",
+                      {"system", "controller", "safe_rate_pct",
+                       "sr_ci95_lo_pct", "sr_ci95_hi_pct", "energy",
+                       "lipschitz"});
+
+  for (const auto& system_name : sys::system_names()) {
+    const auto artifacts = bench::load_pipeline(system_name);
+    std::printf("\n--- %s ---\n", system_name.c_str());
+    std::printf("%-8s %10s %16s %12s %12s\n", "ctrl", "Sr (%)", "95%-CI",
+                "e", "L");
+    for (const auto& [label, controller] :
+         artifacts.table_row_controllers()) {
+      const auto result = bench::evaluate_clean(*artifacts.system, *controller);
+      const auto ci =
+          core::wilson_interval(result.num_safe, result.num_total);
+      const double lipschitz = controller->lipschitz_bound();
+      std::printf("%-8s %10.1f  [%5.1f, %5.1f] %12.1f %12s\n", label.c_str(),
+                  100.0 * result.safe_rate, 100.0 * ci.lo, 100.0 * ci.hi,
+                  result.mean_energy,
+                  bench::format_lipschitz(lipschitz).c_str());
+      csv.row_text({system_name, label,
+                    util::format_number(100.0 * result.safe_rate),
+                    util::format_number(100.0 * ci.lo),
+                    util::format_number(100.0 * ci.hi),
+                    util::format_number(result.mean_energy),
+                    bench::format_lipschitz(lipschitz)});
+    }
+  }
+  std::printf("\nCSV written to %s\n", csv.path().c_str());
+  return 0;
+}

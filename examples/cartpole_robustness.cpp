@@ -1,0 +1,56 @@
+// Cartpole robustness study: how the direct (κD) and robust (κ*) students
+// degrade as the measurement-noise / attack magnitude grows from 0 to 15%
+// of the state bound — the regime the paper evaluates in Table II.
+#include <cstdio>
+
+#include "attack/fgsm.h"
+#include "attack/perturbation.h"
+#include "core/metrics.h"
+#include "core/pipeline.h"
+#include "sys/registry.h"
+#include "util/logging.h"
+
+int main() {
+  using namespace cocktail;
+  util::set_log_level(util::LogLevel::kInfo);
+
+  sys::SystemPtr system = sys::make_system("cartpole");
+  const auto config = core::default_pipeline_config("cartpole");
+  const auto artifacts = core::run_pipeline(system, config);
+
+  core::EvalConfig eval;
+  eval.num_initial_states = 300;
+
+  std::printf("\n=== Cartpole: students under increasing perturbation ===\n");
+  std::printf("%-10s | %-21s | %-21s\n", "", "uniform noise", "FGSM attack");
+  std::printf("%-10s | %9s %11s | %9s %11s\n", "magnitude", "Sr(kD)%",
+              "Sr(k*)%", "Sr(kD)%", "Sr(k*)%");
+  for (const double fraction : {0.0, 0.05, 0.10, 0.15}) {
+    double sr[2][2] = {{0, 0}, {0, 0}};  // [noise|attack][kD|k*].
+    const ctrl::ControllerPtr students[2] = {artifacts.direct_student,
+                                             artifacts.robust_student};
+    for (int which = 0; which < 2; ++which) {
+      core::EvalConfig noisy = eval;
+      core::EvalConfig attacked = eval;
+      if (fraction > 0.0) {
+        const la::Vec bound = attack::perturbation_bound(*system, fraction);
+        noisy.perturbation = std::make_shared<attack::UniformNoise>(bound);
+        attacked.perturbation = std::make_shared<attack::FgsmAttack>(bound);
+      }
+      sr[0][which] =
+          100.0 * core::evaluate(*system, *students[which], noisy).safe_rate;
+      sr[1][which] =
+          100.0 *
+          core::evaluate(*system, *students[which], attacked).safe_rate;
+    }
+    std::printf("%9.0f%% | %9.1f %11.1f | %9.1f %11.1f\n", 100.0 * fraction,
+                sr[0][0], sr[0][1], sr[1][0], sr[1][1]);
+  }
+
+  std::printf(
+      "\nLipschitz bounds: L(kD) = %.1f, L(k*) = %.1f — the robust student's "
+      "smaller constant is what damps the perturbation response.\n",
+      artifacts.direct_student->lipschitz_bound(),
+      artifacts.robust_student->lipschitz_bound());
+  return 0;
+}

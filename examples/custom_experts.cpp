@@ -1,0 +1,75 @@
+// Custom experts: Cocktail does not require DDPG-trained experts — the
+// paper stresses that experts "could be based on well-established
+// model-based approaches, such as MPC or LQR".  This example mixes an LQR
+// expert with a CEM-based MPC expert on the 3D system, then distills the
+// result, exercising the public Controller interface end to end.
+#include <cstdio>
+
+#include "control/lqr_controller.h"
+#include "control/mpc_controller.h"
+#include "core/distiller.h"
+#include "core/metrics.h"
+#include "core/mixing.h"
+#include "sys/registry.h"
+#include "util/logging.h"
+
+int main() {
+  using namespace cocktail;
+  util::set_log_level(util::LogLevel::kInfo);
+
+  sys::SystemPtr system = sys::make_system("threed");
+
+  // Expert 1: discrete LQR on the plant linearization (model-based).
+  auto lqr = std::make_shared<ctrl::LqrController>(
+      ctrl::LqrController::synthesize(*system, 1.0, 2.0, "lqr"));
+
+  // Expert 2: sampling-based MPC (model-based, non-differentiable).
+  ctrl::MpcConfig mpc_config;
+  mpc_config.planning_horizon = 8;
+  mpc_config.samples = 48;
+  mpc_config.elites = 6;
+  mpc_config.iterations = 2;
+  auto mpc = std::make_shared<ctrl::MpcController>(system, mpc_config, "mpc");
+
+  std::vector<ctrl::ControllerPtr> experts = {lqr, mpc};
+
+  // Adaptive mixing over the model-based experts (moderate budget: the MPC
+  // expert replans at every queried state, so env steps cost more here
+  // than with network experts).
+  core::MixingConfig mixing;
+  mixing.ppo.iterations = 32;
+  mixing.ppo.steps_per_iteration = 1500;
+  mixing.snapshot.checkpoints = 4;
+  mixing.snapshot.eval_states = 120;
+  const auto mixed = core::train_adaptive_mixing(system, experts, mixing);
+
+  // Distill to one small network: now the (slow, unverifiable) MPC expert
+  // disappears from the deployed controller entirely.
+  core::DistillConfig distill;
+  distill.epochs = 60;
+  distill.teacher_rollouts = 10;
+  distill.uniform_samples = 1500;
+  const auto student = core::distill(*system, *mixed.controller, distill, "k*");
+
+  core::EvalConfig eval;
+  eval.num_initial_states = 150;
+  std::printf("\n%-16s %10s %12s\n", "controller", "Sr (%)", "energy");
+  auto report = [&](const std::string& label, const ctrl::Controller& c) {
+    const auto r = core::evaluate(*system, c, eval);
+    std::printf("%-16s %10.1f %12.2f\n", label.c_str(), 100.0 * r.safe_rate,
+                r.mean_energy);
+  };
+  report("lqr", *lqr);
+  report("mpc", *mpc);
+  report("mixed AW", *mixed.controller);
+  report("student k*", *student.student);
+  std::printf("\nThe point of this example is the API, not the scores: two "
+              "model-based\ncontrollers plugged into the same Controller "
+              "interface, and the deployed\nresult is a single tiny network "
+              "(L = %.2f, verifiable) — the slow,\nunverifiable MPC planner "
+              "is gone from the loop.  Larger mixing budgets\n(cf. "
+              "default_pipeline_config) are what close the gap to the best "
+              "expert.\n",
+              student.student->lipschitz_bound());
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Visualizing the adaptive mixing strategy (the heart of Section III-A):
+// sweeps the oscillator's state space on a grid and records, per state,
+//   * the weight vector a(s) the mixing policy assigns to each expert, and
+//   * which expert the switching baseline AS would pick,
+// so the two adaptation strategies can be compared side by side.  The
+// weights vary continuously with the state — exactly the capability the
+// switching baseline lacks.
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "sys/registry.h"
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/paths.h"
+
+int main() {
+  using namespace cocktail;
+  util::set_log_level(util::LogLevel::kInfo);
+
+  sys::SystemPtr system = sys::make_system("vanderpol");
+  const auto artifacts =
+      core::run_pipeline(system, core::default_pipeline_config("vanderpol"));
+  const auto* switched = dynamic_cast<const ctrl::SwitchedController*>(
+      artifacts.switching.get());
+
+  const std::string path = util::output_dir() + "/mixing_weights_map.csv";
+  util::CsvWriter csv(path, {"s1", "s2", "a1", "a2", "u_mixed",
+                             "as_expert", "u_switched"});
+  const sys::Box x = system->safe_region();
+  const int grid = 41;
+  double a1_min = 1e9, a1_max = -1e9;
+  for (int i = 0; i < grid; ++i) {
+    for (int j = 0; j < grid; ++j) {
+      const la::Vec s = {
+          x.lo[0] + (x.hi[0] - x.lo[0]) * i / (grid - 1),
+          x.lo[1] + (x.hi[1] - x.lo[1]) * j / (grid - 1)};
+      const la::Vec weights = artifacts.mixed->weights(s);
+      const la::Vec u_mixed = artifacts.mixed->act(s);
+      const std::size_t choice = switched->selected_expert(s);
+      const la::Vec u_switched = artifacts.switching->act(s);
+      csv.row({s[0], s[1], weights[0], weights[1], u_mixed[0],
+               static_cast<double>(choice), u_switched[0]});
+      a1_min = std::min(a1_min, weights[0]);
+      a1_max = std::max(a1_max, weights[0]);
+    }
+  }
+  std::printf("wrote %zu grid rows to %s\n",
+              static_cast<std::size_t>(grid) * grid, path.c_str());
+  std::printf("expert-1 weight a1(s) spans [%.2f, %.2f] across the state "
+              "space — the continuous adaptation the switching baseline's "
+              "binary choice cannot express.\n",
+              a1_min, a1_max);
+  return 0;
+}

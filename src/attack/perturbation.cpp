@@ -1,0 +1,35 @@
+#include "attack/perturbation.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cocktail::attack {
+
+UniformNoise::UniformNoise(la::Vec bound) : bound_(std::move(bound)) {
+  for (double b : bound_)
+    if (b < 0.0) throw std::invalid_argument("UniformNoise: negative bound");
+}
+
+la::Vec UniformNoise::perturb(const la::Vec& state,
+                              const ctrl::Controller& controller,
+                              util::Rng& rng) const {
+  (void)controller;
+  if (state.size() != bound_.size())
+    throw std::invalid_argument("UniformNoise: state dimension mismatch");
+  la::Vec delta(state.size());
+  for (std::size_t i = 0; i < delta.size(); ++i)
+    delta[i] = rng.uniform(-bound_[i], bound_[i]);
+  return delta;
+}
+
+la::Vec perturbation_bound(const sys::System& system, double fraction) {
+  const sys::Box x = system.safe_region();
+  la::Vec bound(x.dim(), 0.0);
+  for (std::size_t i = 0; i < x.dim(); ++i) {
+    if (!std::isfinite(x.lo[i]) || !std::isfinite(x.hi[i])) continue;
+    bound[i] = fraction * 0.5 * (x.hi[i] - x.lo[i]);
+  }
+  return bound;
+}
+
+}  // namespace cocktail::attack

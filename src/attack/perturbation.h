@@ -1,0 +1,75 @@
+// State-perturbation models δ(t) (paper Section II).
+//
+// The perturbation corrupts the controller's *observation* of the state at
+// every sampling period: the controller computes u = κ(s + δ) while the
+// plant continues from the true s.  Three models cover the paper's
+// experiments:
+//   * NoPerturbation       — Table I ("without attacks or noises yet");
+//   * UniformNoise         — measurement noise, δ ~ U[-Δ, Δ] per step;
+//   * FgsmAttack (fgsm.h)  — optimized adversarial attack.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "control/controller.h"
+#include "la/vec.h"
+#include "sys/system.h"
+#include "util/rng.h"
+
+namespace cocktail::attack {
+
+class PerturbationModel {
+ public:
+  virtual ~PerturbationModel() = default;
+
+  /// Perturbation δ for the current true state under the given controller.
+  [[nodiscard]] virtual la::Vec perturb(const la::Vec& state,
+                                        const ctrl::Controller& controller,
+                                        util::Rng& rng) const = 0;
+
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+using PerturbationPtr = std::shared_ptr<const PerturbationModel>;
+
+class NoPerturbation final : public PerturbationModel {
+ public:
+  explicit NoPerturbation(std::size_t state_dim) : state_dim_(state_dim) {}
+
+  [[nodiscard]] la::Vec perturb(const la::Vec&, const ctrl::Controller&,
+                                util::Rng&) const override {
+    return la::zeros(state_dim_);
+  }
+  [[nodiscard]] std::string describe() const override { return "none"; }
+
+ private:
+  std::size_t state_dim_;
+};
+
+class UniformNoise final : public PerturbationModel {
+ public:
+  /// δ_i ~ U[-bound_i, bound_i], independently at every step.
+  explicit UniformNoise(la::Vec bound);
+
+  [[nodiscard]] la::Vec perturb(const la::Vec& state,
+                                const ctrl::Controller& controller,
+                                util::Rng& rng) const override;
+  [[nodiscard]] std::string describe() const override { return "noise"; }
+
+  [[nodiscard]] const la::Vec& bound() const noexcept { return bound_; }
+
+ private:
+  la::Vec bound_;
+};
+
+/// Per-dimension perturbation bound Δ as a fraction of the system's state
+/// value bound (the paper uses 10%-15%).  The bound is taken from the safe
+/// region X; dimensions X leaves unbounded (cartpole's velocities) have no
+/// "state value bound" in the paper's sense and receive Δ = 0 — attacking
+/// an unbounded coordinate at a fraction of an arbitrary range would make
+/// the attack magnitude a free parameter of the reproduction.
+[[nodiscard]] la::Vec perturbation_bound(const sys::System& system,
+                                         double fraction);
+
+}  // namespace cocktail::attack

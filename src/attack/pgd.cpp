@@ -1,0 +1,61 @@
+#include "attack/pgd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cocktail::attack {
+
+PgdAttack::PgdAttack(la::Vec bound, PgdConfig config)
+    : bound_(std::move(bound)), config_(config) {
+  for (double b : bound_)
+    if (b < 0.0) throw std::invalid_argument("PgdAttack: negative bound");
+  if (config_.steps < 1)
+    throw std::invalid_argument("PgdAttack: steps must be >= 1");
+}
+
+la::Vec PgdAttack::objective_gradient(const la::Vec& perturbed,
+                                      const la::Vec& reference_u,
+                                      const ctrl::Controller& controller) const {
+  if (controller.differentiable()) {
+    const la::Vec diff = la::sub(controller.act(perturbed), reference_u);
+    const la::Matrix jac = controller.input_jacobian(perturbed);
+    return jac.matvec_transpose(la::scale(diff, 2.0));
+  }
+  la::Vec grad(perturbed.size(), 0.0);
+  for (std::size_t i = 0; i < perturbed.size(); ++i) {
+    const double h = std::max(config_.fd_step_fraction * bound_[i], 1e-8);
+    la::Vec plus = perturbed, minus = perturbed;
+    plus[i] += h;
+    minus[i] -= h;
+    const la::Vec dp = la::sub(controller.act(plus), reference_u);
+    const la::Vec dm = la::sub(controller.act(minus), reference_u);
+    grad[i] = (la::dot(dp, dp) - la::dot(dm, dm)) / (2.0 * h);
+  }
+  return grad;
+}
+
+la::Vec PgdAttack::perturb(const la::Vec& state,
+                           const ctrl::Controller& controller,
+                           util::Rng& rng) const {
+  if (state.size() != bound_.size())
+    throw std::invalid_argument("PgdAttack: state dimension mismatch");
+  const la::Vec u_ref = controller.act(state);
+  la::Vec delta(state.size());
+  for (std::size_t i = 0; i < delta.size(); ++i)
+    delta[i] =
+        rng.uniform(-1.0, 1.0) * config_.random_start_fraction * bound_[i];
+  for (int step = 0; step < config_.steps; ++step) {
+    const la::Vec grad =
+        objective_gradient(la::add(state, delta), u_ref, controller);
+    for (std::size_t i = 0; i < delta.size(); ++i) {
+      const double sign = grad[i] > 0.0 ? 1.0 : (grad[i] < 0.0 ? -1.0 : 0.0);
+      delta[i] = std::clamp(
+          delta[i] + config_.step_fraction * bound_[i] * sign, -bound_[i],
+          bound_[i]);
+    }
+  }
+  return delta;
+}
+
+}  // namespace cocktail::attack

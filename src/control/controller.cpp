@@ -1,0 +1,12 @@
+#include "control/controller.h"
+
+#include <stdexcept>
+
+namespace cocktail::ctrl {
+
+la::Matrix Controller::input_jacobian(const la::Vec&) const {
+  throw std::logic_error("Controller::input_jacobian: " + describe() +
+                         " is not differentiable");
+}
+
+}  // namespace cocktail::ctrl

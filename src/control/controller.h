@@ -1,0 +1,70 @@
+// Feedback controller interface κ: s ↦ u.
+//
+// Everything the paper calls an "expert" — DDPG-trained networks,
+// model-based polynomial/LQR controllers — and everything Cocktail
+// produces — the mixed teacher AW, the switched baseline AS, the students
+// κD/κ* — implements this interface, so metrics, attacks, and verification
+// treat them uniformly.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "la/matrix.h"
+#include "la/vec.h"
+
+namespace cocktail::ctrl {
+
+class Controller {
+ public:
+  virtual ~Controller() = default;
+
+  /// Control input for (possibly perturbed) observed state `s`.
+  [[nodiscard]] virtual la::Vec act(const la::Vec& s) const = 0;
+
+  [[nodiscard]] virtual std::size_t state_dim() const = 0;
+  [[nodiscard]] virtual std::size_t control_dim() const = 0;
+
+  /// Human-readable description for bench tables.
+  [[nodiscard]] virtual std::string describe() const = 0;
+
+  /// True if input_jacobian() is available (gradient-based attacks use it;
+  /// non-differentiable controllers fall back to finite differences).
+  [[nodiscard]] virtual bool differentiable() const { return false; }
+
+  /// dκ/ds at `s`; throws std::logic_error when !differentiable().
+  [[nodiscard]] virtual la::Matrix input_jacobian(const la::Vec& s) const;
+
+  /// Certified global Lipschitz upper bound, or a negative value when no
+  /// bound is available (the paper marks such controllers "-" in Table I).
+  [[nodiscard]] virtual double lipschitz_bound() const { return -1.0; }
+};
+
+using ControllerPtr = std::shared_ptr<const Controller>;
+
+/// κ(s) = 0 — used as a trivial expert in tests and ablations.
+class ZeroController final : public Controller {
+ public:
+  ZeroController(std::size_t state_dim, std::size_t control_dim)
+      : state_dim_(state_dim), control_dim_(control_dim) {}
+
+  [[nodiscard]] la::Vec act(const la::Vec&) const override {
+    return la::zeros(control_dim_);
+  }
+  [[nodiscard]] std::size_t state_dim() const override { return state_dim_; }
+  [[nodiscard]] std::size_t control_dim() const override {
+    return control_dim_;
+  }
+  [[nodiscard]] std::string describe() const override { return "zero"; }
+  [[nodiscard]] bool differentiable() const override { return true; }
+  [[nodiscard]] la::Matrix input_jacobian(const la::Vec&) const override {
+    return la::Matrix(control_dim_, state_dim_);
+  }
+  [[nodiscard]] double lipschitz_bound() const override { return 0.0; }
+
+ private:
+  std::size_t state_dim_;
+  std::size_t control_dim_;
+};
+
+}  // namespace cocktail::ctrl

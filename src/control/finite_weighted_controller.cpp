@@ -1,0 +1,73 @@
+#include "control/finite_weighted_controller.h"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+namespace cocktail::ctrl {
+
+FiniteWeightedController::FiniteWeightedController(
+    std::vector<ControllerPtr> experts, std::vector<la::Vec> weight_table,
+    nn::Mlp selector_net, sys::Box control_bounds, std::string label)
+    : experts_(std::move(experts)), weight_table_(std::move(weight_table)),
+      selector_net_(std::move(selector_net)),
+      control_bounds_(std::move(control_bounds)), label_(std::move(label)) {
+  if (experts_.empty())
+    throw std::invalid_argument("FiniteWeightedController: no experts");
+  if (weight_table_.empty())
+    throw std::invalid_argument("FiniteWeightedController: empty table");
+  for (const auto& weights : weight_table_)
+    if (weights.size() != experts_.size())
+      throw std::invalid_argument(
+          "FiniteWeightedController: table arity mismatch");
+  if (selector_net_.output_dim() != weight_table_.size())
+    throw std::invalid_argument(
+        "FiniteWeightedController: selector output dim != table size");
+}
+
+std::size_t FiniteWeightedController::selected_entry(const la::Vec& s) const {
+  const la::Vec logits = selector_net_.forward(s);
+  return static_cast<std::size_t>(
+      std::max_element(logits.begin(), logits.end()) - logits.begin());
+}
+
+la::Vec FiniteWeightedController::act(const la::Vec& s) const {
+  const la::Vec& weights = weight_table_[selected_entry(s)];
+  la::Vec u = la::zeros(control_dim());
+  for (std::size_t i = 0; i < experts_.size(); ++i)
+    la::axpy(u, weights[i], experts_[i]->act(s));
+  return la::clip(u, control_bounds_.lo, control_bounds_.hi);
+}
+
+std::size_t FiniteWeightedController::state_dim() const {
+  return experts_.front()->state_dim();
+}
+
+std::size_t FiniteWeightedController::control_dim() const {
+  return experts_.front()->control_dim();
+}
+
+std::vector<la::Vec> simplex_weight_table(std::size_t num_experts,
+                                          int resolution) {
+  if (num_experts == 0 || resolution < 1)
+    throw std::invalid_argument("simplex_weight_table: bad arguments");
+  std::vector<la::Vec> table;
+  la::Vec current(num_experts, 0.0);
+  // Recursive composition of `resolution` units over num_experts bins.
+  const std::function<void(std::size_t, int)> fill = [&](std::size_t dim,
+                                                         int remaining) {
+    if (dim + 1 == num_experts) {
+      current[dim] = static_cast<double>(remaining) / resolution;
+      table.push_back(current);
+      return;
+    }
+    for (int take = 0; take <= remaining; ++take) {
+      current[dim] = static_cast<double>(take) / resolution;
+      fill(dim + 1, remaining - take);
+    }
+  };
+  fill(0, resolution);
+  return table;
+}
+
+}  // namespace cocktail::ctrl

@@ -1,0 +1,55 @@
+// Finite-size weighted adaptation baseline (Ramakrishna et al. [11],
+// "dynamic-weighted simplex strategy"): the controller picks, per state,
+// one weight vector from a *finite* set of convex combinations
+// (w ≥ 0, Σw = 1) and plays u = clip(Σ wᵢ κᵢ(s)).
+//
+// Its action space is a strict super-space of switching (the vertices) and
+// a strict sub-space of Cocktail's continuous box [-AB, AB]^n — the middle
+// link of the Proposition 1 inclusion chain exercised by
+// bench_ablation_actionspace.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "control/controller.h"
+#include "nn/mlp.h"
+#include "sys/system.h"
+
+namespace cocktail::ctrl {
+
+class FiniteWeightedController final : public Controller {
+ public:
+  /// `selector_net` maps state -> |weight_table| logits; act() applies the
+  /// argmax entry's weights.  Every table entry must have one weight per
+  /// expert.
+  FiniteWeightedController(std::vector<ControllerPtr> experts,
+                           std::vector<la::Vec> weight_table,
+                           nn::Mlp selector_net, sys::Box control_bounds,
+                           std::string label = "FW");
+
+  [[nodiscard]] la::Vec act(const la::Vec& s) const override;
+  [[nodiscard]] std::size_t state_dim() const override;
+  [[nodiscard]] std::size_t control_dim() const override;
+  [[nodiscard]] std::string describe() const override { return label_; }
+
+  [[nodiscard]] std::size_t selected_entry(const la::Vec& s) const;
+  [[nodiscard]] const std::vector<la::Vec>& weight_table() const noexcept {
+    return weight_table_;
+  }
+
+ private:
+  std::vector<ControllerPtr> experts_;
+  std::vector<la::Vec> weight_table_;
+  nn::Mlp selector_net_;
+  sys::Box control_bounds_;
+  std::string label_;
+};
+
+/// Uniform simplex grid: all weight vectors with entries from
+/// {0, 1/k, ..., 1} summing to 1 (the convex-combination table of [11]).
+/// For n experts and resolution k this is C(n+k-1, k) entries.
+[[nodiscard]] std::vector<la::Vec> simplex_weight_table(std::size_t num_experts,
+                                                        int resolution);
+
+}  // namespace cocktail::ctrl

@@ -1,0 +1,30 @@
+#include "control/lqr_controller.h"
+
+namespace cocktail::ctrl {
+
+LqrController::LqrController(la::Matrix gain, std::string label)
+    : k_(std::move(gain)), label_(std::move(label)) {}
+
+LqrController LqrController::synthesize(const sys::System& system,
+                                        double state_weight,
+                                        double control_weight,
+                                        std::string label) {
+  la::Matrix a, b;
+  system.linearize(a, b);
+  const la::Matrix q = la::Matrix::identity(a.rows()) * state_weight;
+  const la::Matrix r = la::Matrix::identity(b.cols()) * control_weight;
+  const la::DareResult dare = la::solve_dare(a, b, q, r);
+  return LqrController(dare.k, std::move(label));
+}
+
+la::Vec LqrController::act(const la::Vec& s) const {
+  return la::scale(k_.matvec(s), -1.0);
+}
+
+la::Matrix LqrController::input_jacobian(const la::Vec&) const {
+  return k_ * -1.0;
+}
+
+double LqrController::lipschitz_bound() const { return k_.spectral_norm(); }
+
+}  // namespace cocktail::ctrl

@@ -1,0 +1,41 @@
+// Discrete-time LQR expert: u = -K s with K from the Riccati recursion on
+// the plant's linearization.  One of the "well-established model-based
+// approaches" (LQR [6]) the paper cites as a possible expert; also the
+// synthesis route for the 3D system's polynomial expert (DESIGN.md §2).
+#pragma once
+
+#include <string>
+
+#include "control/controller.h"
+#include "la/solve.h"
+#include "sys/system.h"
+
+namespace cocktail::ctrl {
+
+class LqrController final : public Controller {
+ public:
+  LqrController(la::Matrix gain, std::string label = "lqr");
+
+  /// Synthesizes the gain from `system.linearize()` with diagonal
+  /// Q = state_weight*I and R = control_weight*I.
+  static LqrController synthesize(const sys::System& system,
+                                  double state_weight = 1.0,
+                                  double control_weight = 1.0,
+                                  std::string label = "lqr");
+
+  [[nodiscard]] la::Vec act(const la::Vec& s) const override;
+  [[nodiscard]] std::size_t state_dim() const override { return k_.cols(); }
+  [[nodiscard]] std::size_t control_dim() const override { return k_.rows(); }
+  [[nodiscard]] std::string describe() const override { return label_; }
+  [[nodiscard]] bool differentiable() const override { return true; }
+  [[nodiscard]] la::Matrix input_jacobian(const la::Vec& s) const override;
+  [[nodiscard]] double lipschitz_bound() const override;
+
+  [[nodiscard]] const la::Matrix& gain() const noexcept { return k_; }
+
+ private:
+  la::Matrix k_;
+  std::string label_;
+};
+
+}  // namespace cocktail::ctrl

@@ -1,0 +1,45 @@
+#include "control/mixed_controller.h"
+
+#include <stdexcept>
+
+namespace cocktail::ctrl {
+
+MixedController::MixedController(std::vector<ControllerPtr> experts,
+                                 nn::Mlp weight_net, double weight_bound,
+                                 sys::Box control_bounds, std::string label)
+    : experts_(std::move(experts)), weight_net_(std::move(weight_net)),
+      weight_bound_(weight_bound), control_bounds_(std::move(control_bounds)),
+      label_(std::move(label)) {
+  if (experts_.empty())
+    throw std::invalid_argument("MixedController: no experts");
+  for (const auto& expert : experts_)
+    if (!expert) throw std::invalid_argument("MixedController: null expert");
+  if (weight_net_.output_dim() != experts_.size())
+    throw std::invalid_argument(
+        "MixedController: weight net output dim != expert count");
+  if (weight_bound_ < 1.0)
+    throw std::invalid_argument(
+        "MixedController: the paper requires AB >= 1");
+}
+
+la::Vec MixedController::weights(const la::Vec& s) const {
+  return la::scale(weight_net_.forward(s), weight_bound_);
+}
+
+la::Vec MixedController::act(const la::Vec& s) const {
+  const la::Vec a = weights(s);
+  la::Vec u = la::zeros(control_dim());
+  for (std::size_t i = 0; i < experts_.size(); ++i)
+    la::axpy(u, a[i], experts_[i]->act(s));
+  return la::clip(u, control_bounds_.lo, control_bounds_.hi);
+}
+
+std::size_t MixedController::state_dim() const {
+  return experts_.front()->state_dim();
+}
+
+std::size_t MixedController::control_dim() const {
+  return experts_.front()->control_dim();
+}
+
+}  // namespace cocktail::ctrl

@@ -1,0 +1,54 @@
+// The paper's mixed controller design AW (Eq. (4)):
+//
+//   u(t) = clip( Σ_i a_i(s) · κ_i(s),  U_inf, U_sup )
+//
+// where the weight vector a(s) ∈ [-AB, AB]^n comes from the adaptive-mixing
+// policy network (the deterministic mean of the PPO policy: tanh output
+// scaled by AB).  This is the teacher the student networks are distilled
+// from, and itself a baseline in Table I.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "control/controller.h"
+#include "nn/mlp.h"
+#include "sys/system.h"
+
+namespace cocktail::ctrl {
+
+class MixedController final : public Controller {
+ public:
+  /// `weight_net` maps state -> n raw outputs in [-1, 1] (tanh head); the
+  /// effective weight is `weight_bound * weight_net(s)`.
+  MixedController(std::vector<ControllerPtr> experts, nn::Mlp weight_net,
+                  double weight_bound, sys::Box control_bounds,
+                  std::string label = "AW");
+
+  [[nodiscard]] la::Vec act(const la::Vec& s) const override;
+  [[nodiscard]] std::size_t state_dim() const override;
+  [[nodiscard]] std::size_t control_dim() const override;
+  [[nodiscard]] std::string describe() const override { return label_; }
+  // The mixed design is a composite of several networks and possibly
+  // non-smooth clipping; like the paper (Table I marks AW's L as "-") we
+  // report no Lipschitz bound and no Jacobian for it.
+
+  /// The dynamically-assigned expert weights a(s).
+  [[nodiscard]] la::Vec weights(const la::Vec& s) const;
+  [[nodiscard]] const std::vector<ControllerPtr>& experts() const noexcept {
+    return experts_;
+  }
+  [[nodiscard]] const nn::Mlp& weight_net() const noexcept {
+    return weight_net_;
+  }
+  [[nodiscard]] double weight_bound() const noexcept { return weight_bound_; }
+
+ private:
+  std::vector<ControllerPtr> experts_;
+  nn::Mlp weight_net_;
+  double weight_bound_;
+  sys::Box control_bounds_;
+  std::string label_;
+};
+
+}  // namespace cocktail::ctrl

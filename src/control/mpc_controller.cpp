@@ -1,0 +1,103 @@
+#include "control/mpc_controller.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace cocktail::ctrl {
+
+MpcController::MpcController(sys::SystemPtr system, MpcConfig config,
+                             std::string label)
+    : system_(std::move(system)), config_(config), label_(std::move(label)) {
+  if (!system_) throw std::invalid_argument("MpcController: null system");
+}
+
+std::size_t MpcController::state_dim() const { return system_->state_dim(); }
+
+std::size_t MpcController::control_dim() const {
+  return system_->control_dim();
+}
+
+double MpcController::rollout_cost(const la::Vec& s0,
+                                   const std::vector<la::Vec>& plan) const {
+  la::Vec s = s0;
+  double cost = 0.0;
+  const la::Vec no_disturbance =
+      la::zeros(system_->disturbance_dim());  // plan on the nominal model
+  for (const auto& u_raw : plan) {
+    const la::Vec u = system_->clip_control(u_raw);
+    s = system_->step(s, u, no_disturbance);
+    cost += config_.state_weight * la::dot(s, s) +
+            config_.control_weight * la::dot(u, u);
+    if (!system_->is_safe(s)) cost += config_.unsafe_penalty;
+  }
+  return cost;
+}
+
+la::Vec MpcController::act(const la::Vec& s) const {
+  const std::size_t m = control_dim();
+  const int horizon = config_.planning_horizon;
+  // Deterministic per-state seed: hash the state bits into the RNG stream.
+  std::uint64_t state_hash = config_.seed;
+  for (double v : s) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    state_hash = util::derive_seed(state_hash, bits);
+  }
+  util::Rng rng(state_hash);
+
+  const sys::Box bounds = system_->control_bounds();
+  std::vector<double> mean(static_cast<std::size_t>(horizon) * m, 0.0);
+  std::vector<double> stddev(mean.size());
+  for (std::size_t i = 0; i < stddev.size(); ++i) {
+    const std::size_t dim = i % m;
+    stddev[i] = config_.init_stddev_frac * (bounds.hi[dim] - bounds.lo[dim]) / 2.0;
+  }
+
+  std::vector<std::vector<la::Vec>> plans(config_.samples);
+  std::vector<double> costs(config_.samples);
+  for (int iter = 0; iter < config_.iterations; ++iter) {
+    for (int k = 0; k < config_.samples; ++k) {
+      auto& plan = plans[k];
+      plan.assign(horizon, la::zeros(m));
+      for (int t = 0; t < horizon; ++t)
+        for (std::size_t d = 0; d < m; ++d) {
+          const std::size_t idx = static_cast<std::size_t>(t) * m + d;
+          plan[t][d] = std::clamp(rng.normal(mean[idx], stddev[idx]),
+                                  bounds.lo[d], bounds.hi[d]);
+        }
+      costs[k] = rollout_cost(s, plan);
+    }
+    std::vector<int> order(plans.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::partial_sort(order.begin(), order.begin() + config_.elites,
+                      order.end(),
+                      [&](int a, int b) { return costs[a] < costs[b]; });
+    // Refit mean/stddev on the elite set.
+    for (std::size_t idx = 0; idx < mean.size(); ++idx) {
+      const int t = static_cast<int>(idx / m);
+      const std::size_t d = idx % m;
+      double mu = 0.0;
+      for (int e = 0; e < config_.elites; ++e)
+        mu += plans[order[e]][t][d];
+      mu /= config_.elites;
+      double var = 0.0;
+      for (int e = 0; e < config_.elites; ++e) {
+        const double diff = plans[order[e]][t][d] - mu;
+        var += diff * diff;
+      }
+      var /= config_.elites;
+      mean[idx] = mu;
+      stddev[idx] = std::sqrt(var) + 1e-3;  // keep a little exploration
+    }
+  }
+  la::Vec u(m);
+  for (std::size_t d = 0; d < m; ++d) u[d] = mean[d];
+  return system_->clip_control(u);
+}
+
+}  // namespace cocktail::ctrl

@@ -1,0 +1,53 @@
+// Sampling-based model-predictive controller (cross-entropy method).
+//
+// The paper lists MPC [5] among the candidate expert types; this CEM
+// planner provides one without requiring gradients of the plant.  It is an
+// *extension* expert (not used by the headline tables) exercised by the
+// examples and the action-space ablation.
+#pragma once
+
+#include <string>
+
+#include "control/controller.h"
+#include "sys/system.h"
+#include "util/rng.h"
+
+namespace cocktail::ctrl {
+
+struct MpcConfig {
+  int planning_horizon = 12;   ///< lookahead steps.
+  int samples = 128;           ///< rollouts per CEM iteration.
+  int elites = 16;             ///< top samples refit per iteration.
+  int iterations = 4;          ///< CEM refinement rounds.
+  double init_stddev_frac = 0.5;  ///< initial σ as a fraction of |U|.
+  double state_weight = 1.0;   ///< stage cost: state_weight*||s||² ...
+  double control_weight = 0.01;  ///< ... + control_weight*||u||².
+  double unsafe_penalty = 1e4;  ///< added per step outside X.
+  std::uint64_t seed = 7;
+};
+
+class MpcController final : public Controller {
+ public:
+  MpcController(sys::SystemPtr system, MpcConfig config = {},
+                std::string label = "mpc");
+
+  /// Plans from scratch at every call (stateless receding horizon).  The
+  /// internal CEM randomness is re-seeded from the state so the controller
+  /// stays a deterministic function of s, as the Controller contract and
+  /// the safe-control-rate metric require.
+  [[nodiscard]] la::Vec act(const la::Vec& s) const override;
+
+  [[nodiscard]] std::size_t state_dim() const override;
+  [[nodiscard]] std::size_t control_dim() const override;
+  [[nodiscard]] std::string describe() const override { return label_; }
+
+ private:
+  [[nodiscard]] double rollout_cost(const la::Vec& s0,
+                                    const std::vector<la::Vec>& plan) const;
+
+  sys::SystemPtr system_;
+  MpcConfig config_;
+  std::string label_;
+};
+
+}  // namespace cocktail::ctrl

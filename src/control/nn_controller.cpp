@@ -1,0 +1,69 @@
+#include "control/nn_controller.h"
+
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+namespace cocktail::ctrl {
+
+NnController::NnController(nn::Mlp net, la::Vec out_scale, std::string label)
+    : net_(std::move(net)), scale_(std::move(out_scale)),
+      label_(std::move(label)) {
+  if (net_.empty()) throw std::invalid_argument("NnController: empty network");
+  if (scale_.size() == 1 && net_.output_dim() > 1)
+    scale_ = la::constant(net_.output_dim(), scale_[0]);
+  if (scale_.size() != net_.output_dim())
+    throw std::invalid_argument("NnController: out_scale dimension mismatch");
+}
+
+la::Vec NnController::act(const la::Vec& s) const {
+  return la::hadamard(scale_, net_.forward(s));
+}
+
+std::size_t NnController::state_dim() const { return net_.input_dim(); }
+
+std::size_t NnController::control_dim() const { return net_.output_dim(); }
+
+la::Matrix NnController::input_jacobian(const la::Vec& s) const {
+  la::Matrix jac = net_.input_jacobian(s);
+  for (std::size_t r = 0; r < jac.rows(); ++r)
+    for (std::size_t c = 0; c < jac.cols(); ++c) jac(r, c) *= scale_[r];
+  return jac;
+}
+
+double NnController::lipschitz_bound() const {
+  double max_scale = 0.0;
+  for (double v : scale_) max_scale = std::max(max_scale, std::abs(v));
+  return max_scale * net_.lipschitz_upper_bound();
+}
+
+void NnController::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out)
+    throw std::runtime_error("NnController::save_file: cannot open " + path);
+  out << "cocktail-nn-controller v1\n";
+  out.precision(17);
+  out << scale_.size();
+  for (double v : scale_) out << ' ' << v;
+  out << '\n';
+  net_.save(out);
+}
+
+NnController NnController::load_file(const std::string& path,
+                                     std::string label) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error("NnController::load_file: cannot open " + path);
+  std::string word1, word2;
+  in >> word1 >> word2;
+  if (word1 != "cocktail-nn-controller" || word2 != "v1")
+    throw std::runtime_error("NnController::load_file: bad header in " + path);
+  std::size_t n = 0;
+  in >> n;
+  la::Vec scale(n);
+  for (auto& v : scale) in >> v;
+  nn::Mlp net = nn::Mlp::load(in);
+  return NnController(std::move(net), std::move(scale), std::move(label));
+}
+
+}  // namespace cocktail::ctrl

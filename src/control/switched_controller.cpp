@@ -1,0 +1,39 @@
+#include "control/switched_controller.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cocktail::ctrl {
+
+SwitchedController::SwitchedController(std::vector<ControllerPtr> experts,
+                                       nn::Mlp selector_net, std::string label)
+    : experts_(std::move(experts)), selector_net_(std::move(selector_net)),
+      label_(std::move(label)) {
+  if (experts_.empty())
+    throw std::invalid_argument("SwitchedController: no experts");
+  for (const auto& expert : experts_)
+    if (!expert) throw std::invalid_argument("SwitchedController: null expert");
+  if (selector_net_.output_dim() != experts_.size())
+    throw std::invalid_argument(
+        "SwitchedController: selector output dim != expert count");
+}
+
+std::size_t SwitchedController::selected_expert(const la::Vec& s) const {
+  const la::Vec logits = selector_net_.forward(s);
+  return static_cast<std::size_t>(
+      std::max_element(logits.begin(), logits.end()) - logits.begin());
+}
+
+la::Vec SwitchedController::act(const la::Vec& s) const {
+  return experts_[selected_expert(s)]->act(s);
+}
+
+std::size_t SwitchedController::state_dim() const {
+  return experts_.front()->state_dim();
+}
+
+std::size_t SwitchedController::control_dim() const {
+  return experts_.front()->control_dim();
+}
+
+}  // namespace cocktail::ctrl

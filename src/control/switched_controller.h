@@ -1,0 +1,41 @@
+// Switching adaptation baseline AS (Wang et al., ICCAD 2020 [4]):
+// an RL-learned logic that picks exactly one expert per sampling period.
+// Its action space {e_1, ..., e_n} is a strict subset of the mixing action
+// space, which is the formal basis of the paper's Proposition 1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "control/controller.h"
+#include "nn/mlp.h"
+
+namespace cocktail::ctrl {
+
+class SwitchedController final : public Controller {
+ public:
+  /// `selector_net` maps state -> n logits; act() runs the argmax expert.
+  SwitchedController(std::vector<ControllerPtr> experts, nn::Mlp selector_net,
+                     std::string label = "AS");
+
+  [[nodiscard]] la::Vec act(const la::Vec& s) const override;
+  [[nodiscard]] std::size_t state_dim() const override;
+  [[nodiscard]] std::size_t control_dim() const override;
+  [[nodiscard]] std::string describe() const override { return label_; }
+
+  /// Index of the expert the selector picks at `s`.
+  [[nodiscard]] std::size_t selected_expert(const la::Vec& s) const;
+  [[nodiscard]] const std::vector<ControllerPtr>& experts() const noexcept {
+    return experts_;
+  }
+  [[nodiscard]] const nn::Mlp& selector_net() const noexcept {
+    return selector_net_;
+  }
+
+ private:
+  std::vector<ControllerPtr> experts_;
+  nn::Mlp selector_net_;
+  std::string label_;
+};
+
+}  // namespace cocktail::ctrl

@@ -1,0 +1,141 @@
+#include "core/distiller.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "attack/fgsm.h"
+#include "core/rollout.h"
+#include "nn/loss.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+#include "util/logging.h"
+
+namespace cocktail::core {
+
+DistillDataset build_distill_dataset(const sys::System& system,
+                                     const ctrl::Controller& teacher,
+                                     const DistillConfig& config) {
+  DistillDataset data;
+  util::Rng rng(util::derive_seed(config.seed, 501));
+  // On-policy teacher trajectories: the states the mixed design actually
+  // steers through.
+  RolloutConfig rollout_config;
+  rollout_config.record_trajectory = true;
+  for (int k = 0; k < config.teacher_rollouts; ++k) {
+    const la::Vec s0 = system.sample_initial_state(rng);
+    const RolloutResult r =
+        rollout(system, teacher, s0, nullptr, rng, rollout_config);
+    for (std::size_t t = 0; t + 1 < r.states.size(); ++t) {
+      data.states.push_back(r.states[t]);
+      data.controls.push_back(r.controls[t]);
+    }
+  }
+  // Uniform coverage of the (bounded) sampling region so the student also
+  // matches the teacher away from nominal trajectories.
+  const sys::Box region = system.sampling_region();
+  for (int k = 0; k < config.uniform_samples; ++k) {
+    la::Vec s = region.sample(rng);
+    la::Vec u = system.clip_control(teacher.act(s));
+    data.states.push_back(std::move(s));
+    data.controls.push_back(std::move(u));
+  }
+  return data;
+}
+
+DistillResult distill(const sys::System& system,
+                      const ctrl::Controller& teacher,
+                      const DistillConfig& config, const std::string& label) {
+  const DistillDataset data = build_distill_dataset(system, teacher, config);
+  util::Rng rng(util::derive_seed(config.seed, 502));
+
+  // The student mirrors the actor architecture the paper trains with DDPG:
+  // a tanh output head expressing u / u_scale, with the physical range in
+  // the (fixed) output scaling.  Expressing normalized controls keeps the
+  // weight norms — and therefore the certified Lipschitz product the whole
+  // verifiability story depends on — small; a raw-u head would need
+  // |U|-sized weights just to span the output range.
+  const sys::Box u_bounds = system.control_bounds();
+  la::Vec out_scale(system.control_dim());
+  for (std::size_t i = 0; i < out_scale.size(); ++i)
+    out_scale[i] = std::max(0.5 * (u_bounds.hi[i] - u_bounds.lo[i]), 1e-9);
+
+  // Targets in normalized units (|û| <= 1 after the rollout clip).
+  std::vector<la::Vec> targets(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    targets[i] = data.controls[i];
+    for (std::size_t d = 0; d < targets[i].size(); ++d)
+      targets[i][d] /= out_scale[d];
+  }
+
+  nn::Mlp student = nn::Mlp::make(
+      system.state_dim(), config.student_hidden, system.control_dim(),
+      config.hidden_activation, nn::Activation::kTanh,
+      util::derive_seed(config.seed, 503));
+  nn::Adam opt(config.learning_rate);
+  nn::Gradients grads = student.zero_gradients();
+
+  const la::Vec delta_bound =
+      attack::perturbation_bound(system, config.delta_fraction);
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    const auto perm = rng.permutation(data.size());
+    for (std::size_t start = 0; start < perm.size();
+         start += config.minibatch) {
+      const std::size_t end = std::min(start + config.minibatch, perm.size());
+      const double inv = 1.0 / static_cast<double>(end - start);
+      // Algorithm 1 line 12: one Bernoulli draw per update step decides
+      // between direct distillation and adversarial training.
+      const bool adversarial = rng.bernoulli(config.adversarial_prob);
+      grads.zero();
+      for (std::size_t k = start; k < end; ++k) {
+        const std::size_t i = perm[k];
+        la::Vec input = data.states[i];
+        const la::Vec& target = targets[i];
+        if (adversarial) {
+          // Inner max (line 13): δ = Δ·sign(∇_s ℓ(κ*(s;q), u)).
+          const la::Vec pred = student.forward(input);
+          const la::Vec dl_dy = nn::mse_gradient(pred, target);
+          const la::Vec grad_s = student.input_gradient(input, dl_dy);
+          la::axpy(input, 1.0, attack::fgsm_delta(grad_s, delta_bound));
+        }
+        // Outer min (line 14): MSE on the (possibly perturbed) input.
+        nn::Mlp::Workspace ws;
+        const la::Vec pred = student.forward(input, ws);
+        la::Vec dl_dy = nn::mse_gradient(pred, target);
+        for (auto& g : dl_dy) g *= inv;
+        (void)student.backward(ws, dl_dy, grads);
+      }
+      if (config.lambda_l2 > 0.0)
+        student.accumulate_l2_gradient(config.lambda_l2, grads);
+      opt.step(student, grads);
+      if (config.spectral_norm_cap > 0.0) {
+        // Pauli-style projection: rescale any layer above the cap so the
+        // certified Lipschitz product stays <= cap^depth (extension knob;
+        // see bench_ablation_projection).
+        for (auto& layer : student.layers()) {
+          const double sigma = layer.w.spectral_norm(30);
+          if (sigma > config.spectral_norm_cap)
+            layer.w.scale_in_place(config.spectral_norm_cap / sigma);
+        }
+      }
+    }
+  }
+
+  DistillResult result;
+  // Clean-data regression loss in normalized control units (comparable
+  // between κD and κ* and across systems).
+  double loss = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i)
+    loss += nn::mse(student.forward(data.states[i]), targets[i]);
+  result.final_loss = loss / static_cast<double>(data.size());
+  result.dataset_size = data.size();
+  result.student = std::make_shared<ctrl::NnController>(
+      std::move(student), out_scale, label);
+  result.lipschitz = result.student->lipschitz_bound();
+  COCKTAIL_INFO << "distilled " << label << " on " << system.name()
+                << ": normalized loss " << result.final_loss << ", L "
+                << result.lipschitz << ", dataset " << result.dataset_size;
+  return result;
+}
+
+}  // namespace cocktail::core

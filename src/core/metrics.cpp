@@ -1,0 +1,39 @@
+#include "core/metrics.h"
+
+#include "core/rollout.h"
+
+namespace cocktail::core {
+
+EvalResult evaluate(const sys::System& system,
+                    const ctrl::Controller& controller,
+                    const EvalConfig& config) {
+  EvalResult result;
+  result.num_total = config.num_initial_states;
+  util::Rng init_rng(util::derive_seed(config.seed, 1));
+  double energy_sum = 0.0;
+  for (int k = 0; k < config.num_initial_states; ++k) {
+    const la::Vec s0 = system.sample_initial_state(init_rng);
+    // Fresh, per-trajectory stream for disturbances/noise so adding
+    // trajectories never shifts earlier ones.
+    util::Rng traj_rng(util::derive_seed(config.seed, 1000 + k));
+    const RolloutResult r = rollout(system, controller, s0,
+                                    config.perturbation.get(), traj_rng);
+    if (r.safe) {
+      ++result.num_safe;
+      energy_sum += r.energy;
+    }
+  }
+  result.safe_rate = result.num_total == 0
+                         ? 0.0
+                         : static_cast<double>(result.num_safe) /
+                               static_cast<double>(result.num_total);
+  result.mean_energy =
+      result.num_safe == 0 ? 0.0 : energy_sum / result.num_safe;
+  return result;
+}
+
+double lipschitz_metric(const ctrl::Controller& controller) {
+  return controller.lipschitz_bound();
+}
+
+}  // namespace cocktail::core

@@ -1,0 +1,41 @@
+// The paper's three evaluation metrics:
+//   Property 1 — control robustness: safe control rate Sr over sampled
+//                initial states, under a given perturbation model;
+//   Property 2 — control energy efficiency: mean Σ_t ||u||₁ over the safe
+//                trajectories (Eq. (3), evaluated by sampling X0);
+//   Property 3 — verifiability: measured by src/verify (wall-clock time).
+#pragma once
+
+#include <cstdint>
+
+#include "attack/perturbation.h"
+#include "control/controller.h"
+#include "sys/system.h"
+
+namespace cocktail::core {
+
+struct EvalConfig {
+  int num_initial_states = 500;  ///< the paper samples 500 per system.
+  std::uint64_t seed = 12345;
+  /// Null = evaluate without attacks or noises (Table I).
+  attack::PerturbationPtr perturbation;
+};
+
+struct EvalResult {
+  double safe_rate = 0.0;     ///< Sr ∈ [0, 1].
+  double mean_energy = 0.0;   ///< e over safe trajectories (0 if none).
+  int num_safe = 0;
+  int num_total = 0;
+};
+
+/// Monte-Carlo evaluation: same seeds sample the same initial states, so
+/// controllers are compared on a common set (paired comparison).
+[[nodiscard]] EvalResult evaluate(const sys::System& system,
+                                  const ctrl::Controller& controller,
+                                  const EvalConfig& config);
+
+/// Reports the controller's certified Lipschitz bound, or a negative value
+/// when unavailable (Table I prints "-").
+[[nodiscard]] double lipschitz_metric(const ctrl::Controller& controller);
+
+}  // namespace cocktail::core

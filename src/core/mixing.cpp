@@ -1,0 +1,191 @@
+#include "core/mixing.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/metrics.h"
+#include "util/logging.h"
+
+namespace cocktail::core {
+namespace {
+
+/// Clean-rollout score of a candidate controller (Table-I metrics).
+struct Score {
+  double safe_rate = -1.0;
+  double energy = std::numeric_limits<double>::infinity();
+
+  [[nodiscard]] bool better_than(const Score& other, double tie) const {
+    if (safe_rate > other.safe_rate + tie) return true;
+    if (safe_rate < other.safe_rate - tie) return false;
+    return energy < other.energy;
+  }
+};
+
+Score score_controller(const sys::System& system,
+                       const ctrl::Controller& controller,
+                       const SnapshotConfig& snapshot) {
+  EvalConfig config;
+  config.num_initial_states = snapshot.eval_states;
+  config.seed = snapshot.eval_seed;
+  const EvalResult result = evaluate(system, controller, config);
+  return {result.safe_rate, result.mean_energy};
+}
+
+/// Splits `total` into `parts` chunk sizes (last chunk takes the remainder).
+std::vector<int> chunk_sizes(int total, int parts) {
+  parts = std::max(1, std::min(parts, total));
+  std::vector<int> sizes(parts, total / parts);
+  sizes.back() += total % parts;
+  return sizes;
+}
+
+}  // namespace
+
+MixingResult train_adaptive_mixing(sys::SystemPtr system,
+                                   std::vector<ctrl::ControllerPtr> experts,
+                                   const MixingConfig& config) {
+  MixingEnv env(system, experts, config.weight_bound, config.reward);
+  rl::PpoGaussian ppo(config.ppo);
+  ppo.initialize(env);
+
+  MixingResult result;
+  nn::Mlp best_net;
+  Score best;
+  for (const int chunk : chunk_sizes(config.ppo.iterations,
+                                     config.snapshot.checkpoints)) {
+    const rl::PpoStats stats = ppo.run_iterations(env, chunk);
+    result.stats.iteration_mean_returns.insert(
+        result.stats.iteration_mean_returns.end(),
+        stats.iteration_mean_returns.begin(),
+        stats.iteration_mean_returns.end());
+    result.stats.iteration_kls.insert(result.stats.iteration_kls.end(),
+                                      stats.iteration_kls.begin(),
+                                      stats.iteration_kls.end());
+    const ctrl::MixedController candidate(
+        experts, ppo.policy().mean_net(), config.weight_bound,
+        system->control_bounds(), "AW");
+    const Score score = score_controller(*system, candidate, config.snapshot);
+    COCKTAIL_DEBUG << "mixing checkpoint: Sr " << score.safe_rate << " e "
+                   << score.energy;
+    if (score.better_than(best, config.snapshot.sr_tie_tolerance)) {
+      best = score;
+      best_net = ppo.policy().mean_net();
+    }
+  }
+  COCKTAIL_INFO << "adaptive mixing (" << system->name() << "): best Sr "
+                << best.safe_rate << ", e " << best.energy;
+  result.controller = std::make_shared<ctrl::MixedController>(
+      std::move(experts), std::move(best_net), config.weight_bound,
+      system->control_bounds(), "AW");
+  return result;
+}
+
+SwitchingResult train_switching(sys::SystemPtr system,
+                                std::vector<ctrl::ControllerPtr> experts,
+                                const SwitchingConfig& config) {
+  SwitchingEnv env(system, experts, config.reward);
+  rl::PpoCategorical ppo(config.ppo);
+  ppo.initialize(env);
+
+  SwitchingResult result;
+  nn::Mlp best_net;
+  Score best;
+  for (const int chunk : chunk_sizes(config.ppo.iterations,
+                                     config.snapshot.checkpoints)) {
+    const rl::PpoStats stats = ppo.run_iterations(env, chunk);
+    result.stats.iteration_mean_returns.insert(
+        result.stats.iteration_mean_returns.end(),
+        stats.iteration_mean_returns.begin(),
+        stats.iteration_mean_returns.end());
+    result.stats.iteration_kls.insert(result.stats.iteration_kls.end(),
+                                      stats.iteration_kls.begin(),
+                                      stats.iteration_kls.end());
+    const ctrl::SwitchedController candidate(experts,
+                                             ppo.policy().logits_net(), "AS");
+    const Score score = score_controller(*system, candidate, config.snapshot);
+    if (score.better_than(best, config.snapshot.sr_tie_tolerance)) {
+      best = score;
+      best_net = ppo.policy().logits_net();
+    }
+  }
+  COCKTAIL_INFO << "switching baseline (" << system->name() << "): best Sr "
+                << best.safe_rate << ", e " << best.energy;
+  result.controller = std::make_shared<ctrl::SwitchedController>(
+      std::move(experts), std::move(best_net), "AS");
+  return result;
+}
+
+FiniteWeightedResult train_finite_weighted(
+    sys::SystemPtr system, std::vector<ctrl::ControllerPtr> experts,
+    const FiniteWeightedConfig& config) {
+  std::vector<la::Vec> table =
+      ctrl::simplex_weight_table(experts.size(), config.resolution);
+  FiniteWeightedEnv env(system, experts, table, config.reward);
+  rl::PpoCategorical ppo(config.ppo);
+  ppo.initialize(env);
+
+  FiniteWeightedResult result;
+  nn::Mlp best_net;
+  Score best;
+  for (const int chunk : chunk_sizes(config.ppo.iterations,
+                                     config.snapshot.checkpoints)) {
+    const rl::PpoStats stats = ppo.run_iterations(env, chunk);
+    result.stats.iteration_mean_returns.insert(
+        result.stats.iteration_mean_returns.end(),
+        stats.iteration_mean_returns.begin(),
+        stats.iteration_mean_returns.end());
+    result.stats.iteration_kls.insert(result.stats.iteration_kls.end(),
+                                      stats.iteration_kls.begin(),
+                                      stats.iteration_kls.end());
+    const ctrl::FiniteWeightedController candidate(
+        experts, table, ppo.policy().logits_net(), system->control_bounds(),
+        "FW");
+    const Score score = score_controller(*system, candidate, config.snapshot);
+    if (score.better_than(best, config.snapshot.sr_tie_tolerance)) {
+      best = score;
+      best_net = ppo.policy().logits_net();
+    }
+  }
+  COCKTAIL_INFO << "finite-weighted baseline (" << system->name()
+                << "): best Sr " << best.safe_rate << ", e " << best.energy;
+  result.controller = std::make_shared<ctrl::FiniteWeightedController>(
+      std::move(experts), std::move(table), std::move(best_net),
+      system->control_bounds(), "FW");
+  return result;
+}
+
+DdpgMixingResult train_adaptive_mixing_ddpg(
+    sys::SystemPtr system, std::vector<ctrl::ControllerPtr> experts,
+    const DdpgMixingConfig& config) {
+  MixingEnv env(system, experts, config.weight_bound, config.reward);
+  rl::Ddpg ddpg(config.ddpg);
+  ddpg.initialize(env);
+
+  DdpgMixingResult result;
+  nn::Mlp best_net;
+  Score best;
+  for (const int chunk : chunk_sizes(config.ddpg.episodes,
+                                     config.snapshot.checkpoints)) {
+    const rl::DdpgStats stats = ddpg.run_episodes(env, chunk);
+    result.stats.episode_returns.insert(result.stats.episode_returns.end(),
+                                        stats.episode_returns.begin(),
+                                        stats.episode_returns.end());
+    // The tanh DDPG actor is a drop-in weight net for the MixedController.
+    const ctrl::MixedController candidate(experts, ddpg.actor(),
+                                          config.weight_bound,
+                                          system->control_bounds(), "AW-ddpg");
+    const Score score = score_controller(*system, candidate, config.snapshot);
+    if (score.better_than(best, config.snapshot.sr_tie_tolerance)) {
+      best = score;
+      best_net = ddpg.actor();
+    }
+  }
+  COCKTAIL_INFO << "ddpg mixing (" << system->name() << "): best Sr "
+                << best.safe_rate << ", e " << best.energy;
+  result.controller = std::make_shared<ctrl::MixedController>(
+      std::move(experts), std::move(best_net), config.weight_bound,
+      system->control_bounds(), "AW-ddpg");
+  return result;
+}
+
+}  // namespace cocktail::core

@@ -1,0 +1,41 @@
+#include "core/rollout.h"
+
+namespace cocktail::core {
+
+RolloutResult rollout(const sys::System& system,
+                      const ctrl::Controller& controller,
+                      const la::Vec& initial_state,
+                      const attack::PerturbationModel* perturbation,
+                      util::Rng& rng, const RolloutConfig& config) {
+  const int horizon = config.horizon > 0 ? config.horizon : system.horizon();
+  RolloutResult result;
+  la::Vec s = initial_state;
+  if (config.record_trajectory) result.states.push_back(s);
+  if (!system.is_safe(s)) {
+    result.safe = false;
+    result.final_state = s;
+    return result;
+  }
+  for (int t = 0; t < horizon; ++t) {
+    la::Vec observed = s;
+    if (perturbation != nullptr)
+      la::axpy(observed, 1.0, perturbation->perturb(s, controller, rng));
+    const la::Vec u = system.clip_control(controller.act(observed));
+    result.energy += la::norm_l1(u);
+    const la::Vec omega = system.sample_disturbance(rng);
+    s = system.step(s, u, omega);
+    ++result.steps_taken;
+    if (config.record_trajectory) {
+      result.states.push_back(s);
+      result.controls.push_back(u);
+    }
+    if (!system.is_safe(s)) {
+      result.safe = false;
+      break;
+    }
+  }
+  result.final_state = s;
+  return result;
+}
+
+}  // namespace cocktail::core

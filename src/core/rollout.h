@@ -1,0 +1,42 @@
+// Closed-loop simulation of plant + controller + perturbation (paper
+// Eq. (2)): the trajectory generator behind every experimental metric.
+//
+// At each step the controller observes s + δ (δ from the perturbation
+// model), its output is clipped to U (Eq. (4)'s feasibility projection,
+// applied uniformly to every baseline), the plant receives the clipped u
+// and an external disturbance ω sampled from Ω.
+#pragma once
+
+#include "attack/perturbation.h"
+#include "control/controller.h"
+#include "sys/system.h"
+#include "util/rng.h"
+
+namespace cocktail::core {
+
+struct RolloutConfig {
+  /// Steps to simulate; <= 0 means the system's horizon T.
+  int horizon = 0;
+  /// Record full state/control traces (Fig 2 needs them; metrics do not).
+  bool record_trajectory = false;
+};
+
+struct RolloutResult {
+  bool safe = true;          ///< every visited state stayed in X.
+  int steps_taken = 0;
+  double energy = 0.0;       ///< Σ_t ||u(t)||₁ (paper Eq. (3) summand).
+  la::Vec final_state;
+  std::vector<la::Vec> states;    ///< filled when record_trajectory.
+  std::vector<la::Vec> controls;  ///< filled when record_trajectory.
+};
+
+/// Simulates from `initial_state`.  The perturbation model may be null
+/// (treated as no perturbation).
+[[nodiscard]] RolloutResult rollout(const sys::System& system,
+                                    const ctrl::Controller& controller,
+                                    const la::Vec& initial_state,
+                                    const attack::PerturbationModel* perturbation,
+                                    util::Rng& rng,
+                                    const RolloutConfig& config = {});
+
+}  // namespace cocktail::core

@@ -1,0 +1,62 @@
+#include "core/stats.h"
+
+#include <cmath>
+
+#include "core/rollout.h"
+
+namespace cocktail::core {
+
+RateInterval wilson_interval(int successes, int total, double z) {
+  if (total <= 0) return {0.0, 1.0};
+  const double n = total;
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+double PairedOutcome::safe_rate_difference() const {
+  const int n = total();
+  if (n == 0) return 0.0;
+  return static_cast<double>(only_a_safe - only_b_safe) / n;
+}
+
+PairedOutcome evaluate_paired(const sys::System& system,
+                              const ctrl::Controller& a,
+                              const ctrl::Controller& b,
+                              const EvalConfig& config) {
+  PairedOutcome outcome;
+  util::Rng init_rng(util::derive_seed(config.seed, 1));
+  double energy_a_sum = 0.0, energy_b_sum = 0.0;
+  for (int k = 0; k < config.num_initial_states; ++k) {
+    const la::Vec s0 = system.sample_initial_state(init_rng);
+    // Identical streams for both controllers.
+    util::Rng rng_a(util::derive_seed(config.seed, 1000 + k));
+    util::Rng rng_b(util::derive_seed(config.seed, 1000 + k));
+    const RolloutResult ra =
+        rollout(system, a, s0, config.perturbation.get(), rng_a);
+    const RolloutResult rb =
+        rollout(system, b, s0, config.perturbation.get(), rng_b);
+    if (ra.safe && rb.safe) {
+      ++outcome.both_safe;
+      energy_a_sum += ra.energy;
+      energy_b_sum += rb.energy;
+    } else if (ra.safe) {
+      ++outcome.only_a_safe;
+    } else if (rb.safe) {
+      ++outcome.only_b_safe;
+    } else {
+      ++outcome.neither_safe;
+    }
+  }
+  if (outcome.both_safe > 0) {
+    outcome.energy_a = energy_a_sum / outcome.both_safe;
+    outcome.energy_b = energy_b_sum / outcome.both_safe;
+  }
+  return outcome;
+}
+
+}  // namespace cocktail::core

@@ -1,0 +1,51 @@
+// Statistical reporting for the Monte-Carlo metrics.
+//
+// The paper reports point estimates of the safe control rate over 500
+// sampled initial states; a faithful reproduction should quantify the
+// sampling error of such estimates, so the benches report Wilson score
+// intervals alongside Sr, and controller comparisons can be run *paired*
+// (same initial states, same disturbance streams) to remove the shared
+// sampling noise from the contrast.
+#pragma once
+
+#include "attack/perturbation.h"
+#include "control/controller.h"
+#include "core/metrics.h"
+#include "sys/system.h"
+
+namespace cocktail::core {
+
+/// Wilson score interval for a binomial rate (default z = 1.96 ~ 95%).
+struct RateInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+[[nodiscard]] RateInterval wilson_interval(int successes, int total,
+                                           double z = 1.96);
+
+/// Outcome counts of a paired controller comparison on identical initial
+/// states and disturbance/perturbation streams.
+struct PairedOutcome {
+  int both_safe = 0;
+  int only_a_safe = 0;
+  int only_b_safe = 0;
+  int neither_safe = 0;
+  double energy_a = 0.0;  ///< mean energy of A over the both-safe subset.
+  double energy_b = 0.0;  ///< mean energy of B over the both-safe subset.
+
+  [[nodiscard]] int total() const {
+    return both_safe + only_a_safe + only_b_safe + neither_safe;
+  }
+  /// Sr(A) - Sr(B); positive means A is safer on this paired sample.
+  [[nodiscard]] double safe_rate_difference() const;
+};
+
+/// Evaluates two controllers on the same sampled initial states with the
+/// same per-trajectory random streams (the perturbation model still sees
+/// different controller outputs, but all environment randomness matches).
+[[nodiscard]] PairedOutcome evaluate_paired(const sys::System& system,
+                                            const ctrl::Controller& a,
+                                            const ctrl::Controller& b,
+                                            const EvalConfig& config);
+
+}  // namespace cocktail::core

@@ -1,0 +1,103 @@
+#include "la/solve.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cocktail::la {
+
+Vec solve(const Matrix& a, const Vec& b) {
+  const Matrix x = solve(a, Matrix::col_vector(b));
+  Vec out(b.size());
+  for (std::size_t i = 0; i < b.size(); ++i) out[i] = x(i, 0);
+  return out;
+}
+
+Matrix solve(const Matrix& a, const Matrix& b) {
+  if (a.rows() != a.cols())
+    throw std::invalid_argument("la::solve: A must be square");
+  if (a.rows() != b.rows())
+    throw std::invalid_argument("la::solve: incompatible RHS");
+  const std::size_t n = a.rows();
+  const std::size_t m = b.cols();
+  Matrix lu = a;
+  Matrix x = b;
+  // Gaussian elimination with partial pivoting, eliminating into x.
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    double best = std::abs(lu(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double cand = std::abs(lu(r, col));
+      if (cand > best) {
+        best = cand;
+        pivot = r;
+      }
+    }
+    if (best < 1e-12)
+      throw std::runtime_error("la::solve: matrix is singular to tolerance");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu(col, c), lu(pivot, c));
+      for (std::size_t c = 0; c < m; ++c) std::swap(x(col, c), x(pivot, c));
+    }
+    const double diag = lu(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = lu(r, col) / diag;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) lu(r, c) -= factor * lu(col, c);
+      for (std::size_t c = 0; c < m; ++c) x(r, c) -= factor * x(col, c);
+    }
+  }
+  // Back substitution.
+  for (std::size_t col = n; col-- > 0;) {
+    const double diag = lu(col, col);
+    for (std::size_t c = 0; c < m; ++c) {
+      double acc = x(col, c);
+      for (std::size_t k = col + 1; k < n; ++k) acc -= lu(col, k) * x(k, c);
+      x(col, c) = acc / diag;
+    }
+  }
+  return x;
+}
+
+Matrix inverse(const Matrix& a) {
+  return solve(a, Matrix::identity(a.rows()));
+}
+
+DareResult solve_dare(const Matrix& a, const Matrix& b, const Matrix& q,
+                      const Matrix& r, int max_iters, double tol) {
+  if (a.rows() != a.cols())
+    throw std::invalid_argument("solve_dare: A must be square");
+  if (b.rows() != a.rows())
+    throw std::invalid_argument("solve_dare: B row mismatch");
+  const Matrix at = a.transpose();
+  const Matrix bt = b.transpose();
+  Matrix p = q;
+  for (int it = 0; it < max_iters; ++it) {
+    // G = R + B'PB,  K = G^-1 B'PA,  P+ = A'P(A - BK) + Q
+    const Matrix pb = p.matmul(b);
+    const Matrix g = r + bt.matmul(pb);
+    const Matrix k = solve(g, bt.matmul(p.matmul(a)));
+    const Matrix a_cl = a - b.matmul(k);
+    Matrix p_next = at.matmul(p.matmul(a_cl)) + q;
+    // Symmetrize to keep round-off from accumulating.
+    for (std::size_t i = 0; i < p_next.rows(); ++i)
+      for (std::size_t j = i + 1; j < p_next.cols(); ++j) {
+        const double avg = 0.5 * (p_next(i, j) + p_next(j, i));
+        p_next(i, j) = avg;
+        p_next(j, i) = avg;
+      }
+    const double delta = (p_next - p).frobenius_norm();
+    p = std::move(p_next);
+    if (delta < tol) {
+      const Matrix pb2 = p.matmul(b);
+      const Matrix g2 = r + bt.matmul(pb2);
+      DareResult result;
+      result.p = p;
+      result.k = solve(g2, bt.matmul(p.matmul(a)));
+      result.iterations = it + 1;
+      return result;
+    }
+  }
+  throw std::runtime_error("solve_dare: Riccati iteration did not converge");
+}
+
+}  // namespace cocktail::la

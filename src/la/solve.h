@@ -1,0 +1,34 @@
+// Small dense solvers backing the LQR expert (discrete Riccati recursion)
+// and the polynomial-controller synthesis.
+#pragma once
+
+#include "la/matrix.h"
+#include "la/vec.h"
+
+namespace cocktail::la {
+
+/// Solves A x = b by Gaussian elimination with partial pivoting.
+/// Throws std::runtime_error on (numerically) singular A.
+[[nodiscard]] Vec solve(const Matrix& a, const Vec& b);
+
+/// Solves A X = B column-by-column.
+[[nodiscard]] Matrix solve(const Matrix& a, const Matrix& b);
+
+/// Matrix inverse via solve(A, I).  Throws on singular input.
+[[nodiscard]] Matrix inverse(const Matrix& a);
+
+/// Iterates the discrete-time algebraic Riccati equation
+///   P <- A'PA - A'PB (R + B'PB)^-1 B'PA + Q
+/// to a fixed point and returns the stabilizing gain
+///   K = (R + B'PB)^-1 B'PA,
+/// so that u = -K s.  Throws if the iteration fails to converge.
+struct DareResult {
+  Matrix p;  ///< Riccati fixed point.
+  Matrix k;  ///< Feedback gain; u = -K s stabilizes (A - B K).
+  int iterations = 0;
+};
+[[nodiscard]] DareResult solve_dare(const Matrix& a, const Matrix& b,
+                                    const Matrix& q, const Matrix& r,
+                                    int max_iters = 10000, double tol = 1e-12);
+
+}  // namespace cocktail::la

@@ -1,0 +1,68 @@
+#include "nn/activation.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cocktail::nn {
+
+double activate(Activation act, double z) noexcept {
+  switch (act) {
+    case Activation::kIdentity:
+      return z;
+    case Activation::kRelu:
+      return z > 0.0 ? z : 0.0;
+    case Activation::kTanh:
+      return std::tanh(z);
+    case Activation::kSigmoid:
+      return 1.0 / (1.0 + std::exp(-z));
+  }
+  return z;
+}
+
+double activate_grad(Activation act, double z, double a) noexcept {
+  switch (act) {
+    case Activation::kIdentity:
+      return 1.0;
+    case Activation::kRelu:
+      return z > 0.0 ? 1.0 : 0.0;
+    case Activation::kTanh:
+      return 1.0 - a * a;
+    case Activation::kSigmoid:
+      return a * (1.0 - a);
+  }
+  return 1.0;
+}
+
+la::Vec activate(Activation act, const la::Vec& z) {
+  la::Vec a(z.size());
+  for (std::size_t i = 0; i < z.size(); ++i) a[i] = activate(act, z[i]);
+  return a;
+}
+
+double activation_lipschitz(Activation act) noexcept {
+  return act == Activation::kSigmoid ? 0.25 : 1.0;
+}
+
+std::string to_string(Activation act) {
+  switch (act) {
+    case Activation::kIdentity:
+      return "identity";
+    case Activation::kRelu:
+      return "relu";
+    case Activation::kTanh:
+      return "tanh";
+    case Activation::kSigmoid:
+      return "sigmoid";
+  }
+  return "identity";
+}
+
+Activation activation_from_string(const std::string& name) {
+  if (name == "identity") return Activation::kIdentity;
+  if (name == "relu") return Activation::kRelu;
+  if (name == "tanh") return Activation::kTanh;
+  if (name == "sigmoid") return Activation::kSigmoid;
+  throw std::invalid_argument("unknown activation: " + name);
+}
+
+}  // namespace cocktail::nn

@@ -1,0 +1,33 @@
+// Activation functions for the dense layers.
+//
+// The set matches the paper's Lipschitz-constant table (footnote 1): a layer
+// with weights W contributes ||W|| for ReLU/Tanh/Identity and ||W||/4 for
+// Sigmoid, because those activations are 1- (resp. 1/4-) Lipschitz.
+#pragma once
+
+#include <string>
+
+#include "la/vec.h"
+
+namespace cocktail::nn {
+
+enum class Activation { kIdentity, kRelu, kTanh, kSigmoid };
+
+/// Scalar activation value.
+[[nodiscard]] double activate(Activation act, double z) noexcept;
+
+/// Derivative dσ/dz expressed through the pre-activation `z` and the
+/// already-computed output `a = σ(z)` (cheaper for tanh/sigmoid).
+[[nodiscard]] double activate_grad(Activation act, double z,
+                                   double a) noexcept;
+
+/// Element-wise activation of a vector.
+[[nodiscard]] la::Vec activate(Activation act, const la::Vec& z);
+
+/// Lipschitz constant of the activation itself (1 or 1/4).
+[[nodiscard]] double activation_lipschitz(Activation act) noexcept;
+
+[[nodiscard]] std::string to_string(Activation act);
+[[nodiscard]] Activation activation_from_string(const std::string& name);
+
+}  // namespace cocktail::nn

@@ -1,0 +1,24 @@
+// Regression losses used by distillation and the RL critics.
+#pragma once
+
+#include "la/vec.h"
+
+namespace cocktail::nn {
+
+/// Mean squared error over vector outputs: (1/n) * sum_i (y_i - t_i)^2.
+[[nodiscard]] double mse(const la::Vec& prediction, const la::Vec& target);
+
+/// Gradient of mse() with respect to the prediction: (2/n) * (y - t).
+[[nodiscard]] la::Vec mse_gradient(const la::Vec& prediction,
+                                   const la::Vec& target);
+
+/// Huber (smooth-L1) loss with threshold `delta`; more robust critic
+/// regression under outlier TD targets.
+[[nodiscard]] double huber(const la::Vec& prediction, const la::Vec& target,
+                           double delta);
+
+/// Gradient of huber() with respect to the prediction.
+[[nodiscard]] la::Vec huber_gradient(const la::Vec& prediction,
+                                     const la::Vec& target, double delta);
+
+}  // namespace cocktail::nn

@@ -1,0 +1,313 @@
+#include "nn/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "la/vec.h"
+#include "util/csv.h"
+
+namespace cocktail::nn {
+
+void Gradients::zero() {
+  for (auto& m : w) m.fill(0.0);
+  for (auto& v : b)
+    for (auto& x : v) x = 0.0;
+}
+
+void Gradients::axpy(double k, const Gradients& other) {
+  if (w.size() != other.w.size())
+    throw std::invalid_argument("Gradients::axpy: layer count mismatch");
+  for (std::size_t l = 0; l < w.size(); ++l) {
+    w[l].axpy(k, other.w[l]);
+    la::axpy(b[l], k, other.b[l]);
+  }
+}
+
+void Gradients::scale(double k) {
+  for (auto& m : w) m.scale_in_place(k);
+  for (auto& v : b)
+    for (auto& x : v) x *= k;
+}
+
+double Gradients::sum_squares() const {
+  double s = 0.0;
+  for (const auto& m : w) s += m.sum_squares();
+  for (const auto& v : b) s += la::dot(v, v);
+  return s;
+}
+
+double Gradients::l2_norm() const { return std::sqrt(sum_squares()); }
+
+void Gradients::clip_norm(double max_norm) {
+  const double norm = l2_norm();
+  if (norm > max_norm && norm > 0.0) scale(max_norm / norm);
+}
+
+Mlp::Mlp(const std::vector<std::size_t>& widths,
+         const std::vector<Activation>& acts, util::Rng& rng) {
+  if (widths.size() < 2)
+    throw std::invalid_argument("Mlp: need at least input and output widths");
+  if (acts.size() != widths.size() - 1)
+    throw std::invalid_argument("Mlp: acts must have widths.size()-1 entries");
+  layers_.reserve(acts.size());
+  for (std::size_t l = 0; l + 1 < widths.size(); ++l) {
+    DenseLayer layer;
+    const std::size_t fan_in = widths[l];
+    const std::size_t fan_out = widths[l + 1];
+    layer.w = la::Matrix(fan_out, fan_in);
+    layer.b = la::zeros(fan_out);
+    layer.act = acts[l];
+    // He initialization for ReLU, Xavier/Glorot otherwise.
+    const double stddev =
+        acts[l] == Activation::kRelu
+            ? std::sqrt(2.0 / static_cast<double>(fan_in))
+            : std::sqrt(2.0 / static_cast<double>(fan_in + fan_out));
+    for (auto& v : layer.w.data()) v = rng.normal(0.0, stddev);
+    layers_.push_back(std::move(layer));
+  }
+}
+
+Mlp Mlp::make(std::size_t in_dim, const std::vector<std::size_t>& hidden,
+              std::size_t out_dim, Activation hidden_act,
+              Activation output_act, std::uint64_t seed) {
+  std::vector<std::size_t> widths;
+  widths.push_back(in_dim);
+  widths.insert(widths.end(), hidden.begin(), hidden.end());
+  widths.push_back(out_dim);
+  std::vector<Activation> acts(hidden.size(), hidden_act);
+  acts.push_back(output_act);
+  util::Rng rng(seed);
+  return Mlp(widths, acts, rng);
+}
+
+std::size_t Mlp::input_dim() const {
+  if (layers_.empty()) throw std::logic_error("Mlp::input_dim: empty network");
+  return layers_.front().w.cols();
+}
+
+std::size_t Mlp::output_dim() const {
+  if (layers_.empty())
+    throw std::logic_error("Mlp::output_dim: empty network");
+  return layers_.back().w.rows();
+}
+
+std::size_t Mlp::num_parameters() const {
+  std::size_t n = 0;
+  for (const auto& layer : layers_) n += layer.w.size() + layer.b.size();
+  return n;
+}
+
+la::Vec Mlp::forward(const la::Vec& x) const {
+  la::Vec a = x;
+  for (const auto& layer : layers_) {
+    la::Vec z = layer.w.matvec(a);
+    la::axpy(z, 1.0, layer.b);
+    a = activate(layer.act, z);
+  }
+  return a;
+}
+
+la::Vec Mlp::forward(const la::Vec& x, Workspace& ws) const {
+  ws.pre.resize(layers_.size());
+  ws.act.resize(layers_.size() + 1);
+  ws.act[0] = x;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const auto& layer = layers_[l];
+    ws.pre[l] = layer.w.matvec(ws.act[l]);
+    la::axpy(ws.pre[l], 1.0, layer.b);
+    ws.act[l + 1] = activate(layer.act, ws.pre[l]);
+  }
+  return ws.act.back();
+}
+
+la::Vec Mlp::backward(const Workspace& ws, const la::Vec& dl_dy,
+                      Gradients& grads) const {
+  if (grads.w.size() != layers_.size())
+    throw std::invalid_argument("Mlp::backward: gradient shape mismatch");
+  la::Vec delta = dl_dy;  // dL/da for the current layer output.
+  for (std::size_t l = layers_.size(); l-- > 0;) {
+    const auto& layer = layers_[l];
+    // dL/dz = dL/da ∘ σ'(z).
+    la::Vec dz(delta.size());
+    for (std::size_t i = 0; i < delta.size(); ++i)
+      dz[i] = delta[i] *
+              activate_grad(layer.act, ws.pre[l][i], ws.act[l + 1][i]);
+    // dL/dW += dz ⊗ a_{l-1};  dL/db += dz.
+    grads.w[l].add_outer(1.0, dz, ws.act[l]);
+    la::axpy(grads.b[l], 1.0, dz);
+    // dL/da_{l-1} = W^T dz.
+    delta = layer.w.matvec_transpose(dz);
+  }
+  return delta;
+}
+
+la::Vec Mlp::input_gradient(const la::Vec& x, const la::Vec& dl_dy) const {
+  Workspace ws;
+  forward(x, ws);
+  la::Vec delta = dl_dy;
+  for (std::size_t l = layers_.size(); l-- > 0;) {
+    const auto& layer = layers_[l];
+    la::Vec dz(delta.size());
+    for (std::size_t i = 0; i < delta.size(); ++i)
+      dz[i] = delta[i] *
+              activate_grad(layer.act, ws.pre[l][i], ws.act[l + 1][i]);
+    delta = layer.w.matvec_transpose(dz);
+  }
+  return delta;
+}
+
+la::Matrix Mlp::input_jacobian(const la::Vec& x) const {
+  Workspace ws;
+  forward(x, ws);
+  const std::size_t out = output_dim();
+  la::Matrix jac(out, input_dim());
+  for (std::size_t r = 0; r < out; ++r) {
+    la::Vec delta = la::zeros(out);
+    delta[r] = 1.0;
+    for (std::size_t l = layers_.size(); l-- > 0;) {
+      const auto& layer = layers_[l];
+      la::Vec dz(delta.size());
+      for (std::size_t i = 0; i < delta.size(); ++i)
+        dz[i] = delta[i] *
+                activate_grad(layer.act, ws.pre[l][i], ws.act[l + 1][i]);
+      delta = layer.w.matvec_transpose(dz);
+    }
+    for (std::size_t c = 0; c < delta.size(); ++c) jac(r, c) = delta[c];
+  }
+  return jac;
+}
+
+Gradients Mlp::zero_gradients() const {
+  Gradients g;
+  g.w.reserve(layers_.size());
+  g.b.reserve(layers_.size());
+  for (const auto& layer : layers_) {
+    g.w.emplace_back(layer.w.rows(), layer.w.cols());
+    g.b.push_back(la::zeros(layer.b.size()));
+  }
+  return g;
+}
+
+void Mlp::accumulate_l2_gradient(double lambda, Gradients& grads) const {
+  // d/dq of lambda * ||q||^2 is 2*lambda*q.
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    grads.w[l].axpy(2.0 * lambda, layers_[l].w);
+    la::axpy(grads.b[l], 2.0 * lambda, layers_[l].b);
+  }
+}
+
+double Mlp::sum_squares() const {
+  double s = 0.0;
+  for (const auto& layer : layers_)
+    s += layer.w.sum_squares() + la::dot(layer.b, layer.b);
+  return s;
+}
+
+double Mlp::lipschitz_upper_bound() const {
+  double lip = 1.0;
+  for (const auto& layer : layers_)
+    lip *= activation_lipschitz(layer.act) * layer.w.spectral_norm();
+  return lip;
+}
+
+double Mlp::lipschitz_sampled(const la::Vec& lo, const la::Vec& hi,
+                              int samples, util::Rng& rng) const {
+  const std::size_t dim = input_dim();
+  if (lo.size() != dim || hi.size() != dim)
+    throw std::invalid_argument("lipschitz_sampled: box dimension mismatch");
+  double best = 0.0;
+  for (int k = 0; k < samples; ++k) {
+    la::Vec x(dim), y(dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+      x[i] = rng.uniform(lo[i], hi[i]);
+      // y is a nearby point: local slopes dominate the Lipschitz constant.
+      const double radius = 1e-3 * (hi[i] - lo[i]);
+      y[i] = std::clamp(x[i] + rng.uniform(-radius, radius), lo[i], hi[i]);
+    }
+    const double dx = la::norm_l2(la::sub(x, y));
+    if (dx < 1e-12) continue;
+    const double df = la::norm_l2(la::sub(forward(x), forward(y)));
+    best = std::max(best, df / dx);
+  }
+  return best;
+}
+
+void Mlp::apply_update(double k, const Gradients& grads) {
+  if (grads.w.size() != layers_.size())
+    throw std::invalid_argument("Mlp::apply_update: shape mismatch");
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    layers_[l].w.axpy(k, grads.w[l]);
+    la::axpy(layers_[l].b, k, grads.b[l]);
+  }
+}
+
+bool Mlp::all_finite() const {
+  for (const auto& layer : layers_)
+    if (!layer.w.all_finite() || !la::all_finite(layer.b)) return false;
+  return true;
+}
+
+void Mlp::save(std::ostream& out) const {
+  out << "cocktail-mlp v1\n";
+  out << layers_.size() << '\n';
+  out.precision(17);
+  for (const auto& layer : layers_) {
+    out << layer.w.rows() << ' ' << layer.w.cols() << ' '
+        << to_string(layer.act) << '\n';
+    for (std::size_t r = 0; r < layer.w.rows(); ++r) {
+      for (std::size_t c = 0; c < layer.w.cols(); ++c) {
+        if (c) out << ' ';
+        out << layer.w(r, c);
+      }
+      out << '\n';
+    }
+    for (std::size_t i = 0; i < layer.b.size(); ++i) {
+      if (i) out << ' ';
+      out << layer.b[i];
+    }
+    out << '\n';
+  }
+}
+
+void Mlp::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Mlp::save_file: cannot open " + path);
+  save(out);
+}
+
+Mlp Mlp::load(std::istream& in) {
+  std::string header, version;
+  in >> header >> version;
+  if (header != "cocktail-mlp" || version != "v1")
+    throw std::runtime_error("Mlp::load: bad header");
+  std::size_t num_layers = 0;
+  in >> num_layers;
+  Mlp net;
+  net.layers_.reserve(num_layers);
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    std::size_t rows = 0, cols = 0;
+    std::string act_name;
+    in >> rows >> cols >> act_name;
+    DenseLayer layer;
+    layer.act = activation_from_string(act_name);
+    layer.w = la::Matrix(rows, cols);
+    for (auto& v : layer.w.data()) in >> v;
+    layer.b = la::zeros(rows);
+    for (auto& v : layer.b) in >> v;
+    if (!in) throw std::runtime_error("Mlp::load: truncated stream");
+    net.layers_.push_back(std::move(layer));
+  }
+  return net;
+}
+
+Mlp Mlp::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("Mlp::load_file: cannot open " + path);
+  return load(in);
+}
+
+}  // namespace cocktail::nn

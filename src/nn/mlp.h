@@ -1,0 +1,135 @@
+// Fully-connected feed-forward network with manual backpropagation.
+//
+// This is the only network architecture the paper uses (controllers, DDPG
+// actor/critics, the PPO mixing policy, and the distilled student are all
+// small MLPs).  Beyond standard parameter gradients, the implementation
+// exposes:
+//   * gradients with respect to the *input* — required by FGSM adversarial
+//     example generation (Algorithm 1, line 13) and by closed-loop attacks;
+//   * a certified Lipschitz upper bound (product of layer spectral norms,
+//     scaled by 1/4 per sigmoid layer) — the quantity the paper's
+//     verifiability argument rests on (footnote 1);
+//   * text serialization so benches can cache trained controllers.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "la/matrix.h"
+#include "la/vec.h"
+#include "nn/activation.h"
+#include "util/rng.h"
+
+namespace cocktail::nn {
+
+/// One dense layer: y = act(W x + b).
+struct DenseLayer {
+  la::Matrix w;    ///< out x in.
+  la::Vec b;       ///< out.
+  Activation act = Activation::kIdentity;
+};
+
+/// Parameter-shaped gradient accumulator (mirrors Mlp layer shapes).
+struct Gradients {
+  std::vector<la::Matrix> w;
+  std::vector<la::Vec> b;
+
+  void zero();
+  /// this += k * other.
+  void axpy(double k, const Gradients& other);
+  void scale(double k);
+  [[nodiscard]] double sum_squares() const;
+  [[nodiscard]] double l2_norm() const;
+  /// Scales so the global L2 norm is at most `max_norm` (gradient clipping).
+  void clip_norm(double max_norm);
+};
+
+class Mlp {
+ public:
+  Mlp() = default;
+
+  /// Builds from explicit layer widths and activations.
+  /// `widths` = [in, h1, ..., out]; `acts.size()` must be widths.size()-1.
+  /// ReLU layers use He initialization, others Xavier.
+  Mlp(const std::vector<std::size_t>& widths,
+      const std::vector<Activation>& acts, util::Rng& rng);
+
+  /// Convenience factory: hidden layers share `hidden_act`; the output
+  /// layer uses `output_act`.
+  static Mlp make(std::size_t in_dim, const std::vector<std::size_t>& hidden,
+                  std::size_t out_dim, Activation hidden_act,
+                  Activation output_act, std::uint64_t seed);
+
+  [[nodiscard]] bool empty() const noexcept { return layers_.empty(); }
+  [[nodiscard]] std::size_t num_layers() const noexcept {
+    return layers_.size();
+  }
+  [[nodiscard]] std::size_t input_dim() const;
+  [[nodiscard]] std::size_t output_dim() const;
+  [[nodiscard]] std::size_t num_parameters() const;
+  [[nodiscard]] const std::vector<DenseLayer>& layers() const noexcept {
+    return layers_;
+  }
+  [[nodiscard]] std::vector<DenseLayer>& layers() noexcept { return layers_; }
+
+  /// Plain inference.
+  [[nodiscard]] la::Vec forward(const la::Vec& x) const;
+
+  /// Per-sample forward pass cache for backpropagation.
+  struct Workspace {
+    std::vector<la::Vec> pre;  ///< pre-activations z_l = W_l a_{l-1} + b_l.
+    std::vector<la::Vec> act;  ///< act[0] = input; act[l+1] = σ(pre[l]).
+  };
+
+  /// Forward pass that fills `ws`; returns the output (== ws.act.back()).
+  la::Vec forward(const la::Vec& x, Workspace& ws) const;
+
+  /// Backpropagates `dl_dy` (dLoss/dOutput for the sample cached in `ws`),
+  /// accumulating parameter gradients into `grads` (must be zero_gradients()
+  /// -shaped).  Returns dLoss/dInput.
+  la::Vec backward(const Workspace& ws, const la::Vec& dl_dy,
+                   Gradients& grads) const;
+
+  /// dLoss/dInput only — the FGSM path; skips parameter-gradient work.
+  [[nodiscard]] la::Vec input_gradient(const la::Vec& x,
+                                       const la::Vec& dl_dy) const;
+
+  /// Jacobian dy/dx (output_dim x input_dim) by row-wise backprop.
+  [[nodiscard]] la::Matrix input_jacobian(const la::Vec& x) const;
+
+  /// Zero gradient accumulator matching this network's shapes.
+  [[nodiscard]] Gradients zero_gradients() const;
+
+  /// Adds the gradient of lambda*||q||_2^2 (all weights and biases) into
+  /// `grads` — the L2 term of the robust-distillation loss.
+  void accumulate_l2_gradient(double lambda, Gradients& grads) const;
+
+  /// Sum of squared parameters ||q||_2^2.
+  [[nodiscard]] double sum_squares() const;
+
+  /// Certified global Lipschitz upper bound: prod_l lip(act_l)*||W_l||_2.
+  [[nodiscard]] double lipschitz_upper_bound() const;
+
+  /// Empirical (lower-bound) Lipschitz estimate: max over sampled pairs of
+  /// ||f(x)-f(y)|| / ||x-y|| inside the given box.  Useful for testing that
+  /// the certified bound is sound.
+  [[nodiscard]] double lipschitz_sampled(const la::Vec& lo, const la::Vec& hi,
+                                         int samples, util::Rng& rng) const;
+
+  /// In-place SGD-style parameter update p += k * g.
+  void apply_update(double k, const Gradients& grads);
+
+  [[nodiscard]] bool all_finite() const;
+
+  void save(std::ostream& out) const;
+  void save_file(const std::string& path) const;
+  static Mlp load(std::istream& in);
+  static Mlp load_file(const std::string& path);
+
+ private:
+  std::vector<DenseLayer> layers_;
+};
+
+}  // namespace cocktail::nn

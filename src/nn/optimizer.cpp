@@ -1,0 +1,93 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cocktail::nn {
+
+Sgd::Sgd(double learning_rate, double momentum)
+    : lr_(learning_rate), momentum_(momentum) {}
+
+void Sgd::step(Mlp& net, const Gradients& grads) {
+  if (momentum_ == 0.0) {
+    net.apply_update(-lr_, grads);
+    return;
+  }
+  if (!initialized_) {
+    velocity_ = net.zero_gradients();
+    initialized_ = true;
+  }
+  velocity_.scale(momentum_);
+  velocity_.axpy(1.0, grads);
+  net.apply_update(-lr_, velocity_);
+}
+
+Adam::Adam(double learning_rate, double beta1, double beta2, double epsilon)
+    : lr_(learning_rate), beta1_(beta1), beta2_(beta2), eps_(epsilon) {}
+
+void Adam::reset() {
+  initialized_ = false;
+  t_ = 0;
+}
+
+void Adam::step(Mlp& net, const Gradients& grads) {
+  if (!initialized_) {
+    m_ = net.zero_gradients();
+    v_ = net.zero_gradients();
+    initialized_ = true;
+  }
+  if (m_.w.size() != grads.w.size())
+    throw std::invalid_argument("Adam::step: shape mismatch");
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  auto& layers = net.layers();
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    auto update = [&](double& p, double& m, double& v, double g) {
+      m = beta1_ * m + (1.0 - beta1_) * g;
+      v = beta2_ * v + (1.0 - beta2_) * g * g;
+      const double m_hat = m / bc1;
+      const double v_hat = v / bc2;
+      p -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    };
+    auto& w = layers[l].w.data();
+    auto& mw = m_.w[l].data();
+    auto& vw = v_.w[l].data();
+    const auto& gw = grads.w[l].data();
+    for (std::size_t i = 0; i < w.size(); ++i) update(w[i], mw[i], vw[i], gw[i]);
+    auto& b = layers[l].b;
+    auto& mb = m_.b[l];
+    auto& vb = v_.b[l];
+    const auto& gb = grads.b[l];
+    for (std::size_t i = 0; i < b.size(); ++i) update(b[i], mb[i], vb[i], gb[i]);
+  }
+}
+
+AdamVec::AdamVec(double learning_rate, double beta1, double beta2,
+                 double epsilon)
+    : lr_(learning_rate), beta1_(beta1), beta2_(beta2), eps_(epsilon) {}
+
+void AdamVec::reset() {
+  t_ = 0;
+  m_.clear();
+  v_.clear();
+}
+
+void AdamVec::step(la::Vec& params, const la::Vec& grads) {
+  if (params.size() != grads.size())
+    throw std::invalid_argument("AdamVec::step: size mismatch");
+  if (m_.size() != params.size()) {
+    m_.assign(params.size(), 0.0);
+    v_.assign(params.size(), 0.0);
+  }
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    m_[i] = beta1_ * m_[i] + (1.0 - beta1_) * grads[i];
+    v_[i] = beta2_ * v_[i] + (1.0 - beta2_) * grads[i] * grads[i];
+    params[i] -= lr_ * (m_[i] / bc1) / (std::sqrt(v_[i] / bc2) + eps_);
+  }
+}
+
+}  // namespace cocktail::nn

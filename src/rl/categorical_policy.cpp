@@ -1,0 +1,104 @@
+#include "rl/categorical_policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cocktail::rl {
+
+la::Vec softmax(const la::Vec& logits) {
+  const double max_logit = *std::max_element(logits.begin(), logits.end());
+  la::Vec p(logits.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    p[i] = std::exp(logits[i] - max_logit);
+    sum += p[i];
+  }
+  for (auto& v : p) v /= sum;
+  return p;
+}
+
+CategoricalPolicy::CategoricalPolicy(std::size_t state_dim,
+                                     const std::vector<std::size_t>& hidden,
+                                     std::size_t num_actions,
+                                     std::uint64_t seed)
+    : logits_net_(nn::Mlp::make(state_dim, hidden, num_actions,
+                                nn::Activation::kTanh,
+                                nn::Activation::kIdentity, seed)) {}
+
+la::Vec CategoricalPolicy::probabilities(const la::Vec& s) const {
+  return softmax(logits_net_.forward(s));
+}
+
+CategoricalPolicy::Sample CategoricalPolicy::sample(const la::Vec& s,
+                                                    util::Rng& rng) const {
+  const la::Vec p = probabilities(s);
+  const double draw = rng.uniform();
+  double cum = 0.0;
+  Sample out;
+  out.action = p.size() - 1;  // guard against rounding: default to last.
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    cum += p[i];
+    if (draw < cum) {
+      out.action = i;
+      break;
+    }
+  }
+  out.log_prob = std::log(std::max(p[out.action], 1e-300));
+  return out;
+}
+
+double CategoricalPolicy::log_prob(const la::Vec& s,
+                                   std::size_t action) const {
+  const la::Vec p = probabilities(s);
+  if (action >= p.size())
+    throw std::invalid_argument("CategoricalPolicy::log_prob: bad action");
+  return std::log(std::max(p[action], 1e-300));
+}
+
+std::size_t CategoricalPolicy::greedy(const la::Vec& s) const {
+  const la::Vec logits = logits_net_.forward(s);
+  return static_cast<std::size_t>(
+      std::max_element(logits.begin(), logits.end()) - logits.begin());
+}
+
+double CategoricalPolicy::kl_from(const la::Vec& probs_old,
+                                  const la::Vec& s) const {
+  const la::Vec p = probabilities(s);
+  double kl = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (probs_old[i] <= 0.0) continue;
+    kl += probs_old[i] *
+          (std::log(probs_old[i]) - std::log(std::max(p[i], 1e-300)));
+  }
+  return std::max(kl, 0.0);
+}
+
+void CategoricalPolicy::accumulate_log_prob_gradient(const la::Vec& s,
+                                                     std::size_t action,
+                                                     double coef,
+                                                     nn::Gradients& grads) const {
+  nn::Mlp::Workspace ws;
+  const la::Vec logits = logits_net_.forward(s, ws);
+  const la::Vec p = softmax(logits);
+  // d log p(a) / d logit_j = 1[j==a] - p_j; accumulate -coef * that.
+  la::Vec dl(p.size());
+  for (std::size_t j = 0; j < p.size(); ++j)
+    dl[j] = -coef * ((j == action ? 1.0 : 0.0) - p[j]);
+  (void)logits_net_.backward(ws, dl, grads);
+}
+
+void CategoricalPolicy::accumulate_kl_gradient(const la::Vec& probs_old,
+                                               const la::Vec& s, double coef,
+                                               nn::Gradients& grads) const {
+  nn::Mlp::Workspace ws;
+  const la::Vec logits = logits_net_.forward(s, ws);
+  const la::Vec p = softmax(logits);
+  // d KL(p_old || p_new) / d logit_j = p_new_j - p_old_j.
+  la::Vec dl(p.size());
+  for (std::size_t j = 0; j < p.size(); ++j)
+    dl[j] = coef * (p[j] - probs_old[j]);
+  (void)logits_net_.backward(ws, dl, grads);
+}
+
+}  // namespace cocktail::rl

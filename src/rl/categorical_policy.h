@@ -1,0 +1,66 @@
+// Softmax (categorical) policy over a finite action set.
+//
+// Drives the switching baseline AS: the action is *which expert* controls
+// the plant this sampling period — exactly the discrete adaptation space of
+// [4] that the paper's mixing action space strictly contains.
+#pragma once
+
+#include <cstdint>
+
+#include "la/vec.h"
+#include "nn/mlp.h"
+#include "util/rng.h"
+
+namespace cocktail::rl {
+
+class CategoricalPolicy {
+ public:
+  /// Logit network [state_dim, hidden..., num_actions], identity head.
+  CategoricalPolicy(std::size_t state_dim,
+                    const std::vector<std::size_t>& hidden,
+                    std::size_t num_actions, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t state_dim() const {
+    return logits_net_.input_dim();
+  }
+  [[nodiscard]] std::size_t num_actions() const {
+    return logits_net_.output_dim();
+  }
+
+  /// Action probabilities p(· | s) (softmax of the logits).
+  [[nodiscard]] la::Vec probabilities(const la::Vec& s) const;
+
+  struct Sample {
+    std::size_t action = 0;
+    double log_prob = 0.0;
+  };
+  [[nodiscard]] Sample sample(const la::Vec& s, util::Rng& rng) const;
+
+  [[nodiscard]] double log_prob(const la::Vec& s, std::size_t action) const;
+  /// Greedy (argmax) action — evaluation-time behaviour of AS.
+  [[nodiscard]] std::size_t greedy(const la::Vec& s) const;
+
+  /// KL( p_old || p(·|s) ) given the old distribution.
+  [[nodiscard]] double kl_from(const la::Vec& probs_old,
+                               const la::Vec& s) const;
+
+  /// Accumulates d(-coef * log π(a|s))/dθ into `grads`.
+  void accumulate_log_prob_gradient(const la::Vec& s, std::size_t action,
+                                    double coef, nn::Gradients& grads) const;
+  /// Accumulates d(coef * KL(p_old || p_new))/dθ for the current network.
+  void accumulate_kl_gradient(const la::Vec& probs_old, const la::Vec& s,
+                              double coef, nn::Gradients& grads) const;
+
+  [[nodiscard]] const nn::Mlp& logits_net() const noexcept {
+    return logits_net_;
+  }
+  [[nodiscard]] nn::Mlp& logits_net() noexcept { return logits_net_; }
+
+ private:
+  nn::Mlp logits_net_;
+};
+
+/// Numerically-stable softmax.
+[[nodiscard]] la::Vec softmax(const la::Vec& logits);
+
+}  // namespace cocktail::rl

@@ -1,0 +1,152 @@
+#include "rl/ddpg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "rl/noise.h"
+#include "util/logging.h"
+
+namespace cocktail::rl {
+
+double DdpgStats::final_return_mean(std::size_t window) const {
+  if (episode_returns.empty()) return 0.0;
+  const std::size_t n = std::min(window, episode_returns.size());
+  double sum = 0.0;
+  for (std::size_t i = episode_returns.size() - n; i < episode_returns.size();
+       ++i)
+    sum += episode_returns[i];
+  return sum / static_cast<double>(n);
+}
+
+Ddpg::Ddpg(DdpgConfig config) : config_(std::move(config)) {}
+
+void Ddpg::build_networks(std::size_t state_dim, std::size_t action_dim) {
+  actor_ = nn::Mlp::make(state_dim, config_.actor_hidden, action_dim,
+                         nn::Activation::kRelu, nn::Activation::kTanh,
+                         util::derive_seed(config_.seed, 101));
+  critic_ = nn::Mlp::make(state_dim + action_dim, config_.critic_hidden, 1,
+                          nn::Activation::kRelu, nn::Activation::kIdentity,
+                          util::derive_seed(config_.seed, 202));
+  target_actor_ = actor_;
+  target_critic_ = critic_;
+}
+
+void Ddpg::polyak_update(nn::Mlp& target, const nn::Mlp& online,
+                         double polyak) {
+  auto& t_layers = target.layers();
+  const auto& o_layers = online.layers();
+  for (std::size_t l = 0; l < t_layers.size(); ++l) {
+    auto& tw = t_layers[l].w.data();
+    const auto& ow = o_layers[l].w.data();
+    for (std::size_t i = 0; i < tw.size(); ++i)
+      tw[i] = polyak * tw[i] + (1.0 - polyak) * ow[i];
+    auto& tb = t_layers[l].b;
+    const auto& ob = o_layers[l].b;
+    for (std::size_t i = 0; i < tb.size(); ++i)
+      tb[i] = polyak * tb[i] + (1.0 - polyak) * ob[i];
+  }
+}
+
+void Ddpg::initialize(Env& env) {
+  rng_ = std::make_unique<util::Rng>(config_.seed);
+  build_networks(env.state_dim(), env.action_dim());
+  actor_opt_ = std::make_unique<nn::Adam>(config_.actor_lr);
+  critic_opt_ = std::make_unique<nn::Adam>(config_.critic_lr);
+  buffer_ = std::make_unique<ReplayBuffer>(config_.replay_capacity);
+  noise_ = std::make_unique<OuNoise>(env.action_dim(), config_.ou_theta,
+                                     config_.ou_sigma);
+  total_steps_ = 0;
+  episodes_done_ = 0;
+  sigma_ = config_.ou_sigma;
+  initialized_ = true;
+}
+
+DdpgStats Ddpg::run_episodes(Env& env, int episodes) {
+  if (!initialized_)
+    throw std::logic_error("Ddpg::run_episodes: call initialize() first");
+  DdpgStats stats;
+  for (int episode = 0; episode < episodes; ++episode) {
+    la::Vec s = env.reset(*rng_);
+    noise_->reset();
+    noise_->set_sigma(sigma_);
+    double episode_return = 0.0;
+    for (int t = 0; t < env.max_episode_steps(); ++t) {
+      la::Vec a;
+      if (total_steps_ < config_.warmup_steps) {
+        a = rng_->uniform_vec(env.action_dim(), -1.0, 1.0);
+      } else {
+        a = actor_.forward(s);
+        la::axpy(a, 1.0, noise_->sample(*rng_));
+        a = la::clip(a, -1.0, 1.0);
+      }
+      const StepResult result = env.step(a, *rng_);
+      buffer_->add({s, a, result.reward, result.next_state, result.terminal});
+      episode_return += result.reward;
+      s = result.next_state;
+      ++total_steps_;
+      if (buffer_->size() >= config_.batch_size &&
+          total_steps_ >= config_.warmup_steps)
+        update(*buffer_, *rng_);
+      if (result.terminal) break;
+    }
+    sigma_ *= config_.noise_decay;
+    stats.episode_returns.push_back(episode_return);
+    if (progress_) progress_(episodes_done_, episode_return);
+    ++episodes_done_;
+  }
+  return stats;
+}
+
+DdpgStats Ddpg::train(Env& env) {
+  initialize(env);
+  return run_episodes(env, config_.episodes);
+}
+
+void Ddpg::update(ReplayBuffer& buffer, util::Rng& rng) {
+  const auto batch = buffer.sample(config_.batch_size, rng);
+  const double inv_batch = 1.0 / static_cast<double>(batch.size());
+
+  // --- Critic: regress Q(s,a) onto r + gamma * Q'(s', mu'(s')). ---
+  nn::Gradients critic_grads = critic_.zero_gradients();
+  for (const Transition* tr : batch) {
+    double target = tr->reward;
+    if (!tr->terminal) {
+      const la::Vec a_next = target_actor_.forward(tr->next_state);
+      const la::Vec q_next =
+          target_critic_.forward(la::concat(tr->next_state, a_next));
+      target += config_.gamma * q_next[0];
+    }
+    nn::Mlp::Workspace ws;
+    const la::Vec q = critic_.forward(la::concat(tr->state, tr->action), ws);
+    const la::Vec dl = {inv_batch * 2.0 * (q[0] - target)};
+    (void)critic_.backward(ws, dl, critic_grads);
+  }
+  critic_grads.clip_norm(config_.grad_clip);
+  critic_opt_->step(critic_, critic_grads);
+
+  // --- Actor: ascend Q(s, mu(s)) through the critic's action input. ---
+  nn::Gradients actor_grads = actor_.zero_gradients();
+  const std::size_t state_dim = actor_.input_dim();
+  for (const Transition* tr : batch) {
+    nn::Mlp::Workspace actor_ws;
+    const la::Vec a = actor_.forward(tr->state, actor_ws);
+    // dQ/d[s;a] via the critic input gradient; keep the action slice.
+    const la::Vec dq_dinput =
+        critic_.input_gradient(la::concat(tr->state, a), {1.0});
+    la::Vec dq_da(dq_dinput.begin() + static_cast<std::ptrdiff_t>(state_dim),
+                  dq_dinput.end());
+    // Gradient *descent* on -Q: dl/da = -dQ/da, averaged over the batch.
+    for (auto& v : dq_da) v *= -inv_batch;
+    (void)actor_.backward(actor_ws, dq_da, actor_grads);
+  }
+  actor_grads.clip_norm(config_.grad_clip);
+  actor_opt_->step(actor_, actor_grads);
+
+  polyak_update(target_actor_, actor_, config_.polyak);
+  polyak_update(target_critic_, critic_, config_.polyak);
+}
+
+}  // namespace cocktail::rl

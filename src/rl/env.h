@@ -1,0 +1,43 @@
+// Episodic environment interface for the RL algorithms.
+//
+// The MDP of Section III-A (adaptive mixing), its switching restriction
+// (the AS baseline), and the per-expert DDPG training tasks are all
+// implemented as Envs in src/core; the algorithms here are generic.
+#pragma once
+
+#include <cstddef>
+
+#include "la/vec.h"
+#include "util/rng.h"
+
+namespace cocktail::rl {
+
+struct StepResult {
+  la::Vec next_state;
+  double reward = 0.0;
+  /// True when the episode reached a genuine terminal state (e.g. a safety
+  /// violation).  Time-limit truncation is handled by the training loop and
+  /// must NOT set this flag, so bootstrapping stays correct.
+  bool terminal = false;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  [[nodiscard]] virtual std::size_t state_dim() const = 0;
+  /// Continuous action dimension (or number of discrete choices for
+  /// categorical policies).
+  [[nodiscard]] virtual std::size_t action_dim() const = 0;
+  /// Episode length T.
+  [[nodiscard]] virtual int max_episode_steps() const = 0;
+
+  /// Starts a new episode; returns the initial state.
+  virtual la::Vec reset(util::Rng& rng) = 0;
+  /// Applies an action.  Continuous actions arrive in [-1, 1]^dim (the env
+  /// owns any scaling); discrete actions arrive as a one-element vector
+  /// holding the choice index.
+  virtual StepResult step(const la::Vec& action, util::Rng& rng) = 0;
+};
+
+}  // namespace cocktail::rl

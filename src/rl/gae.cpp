@@ -1,0 +1,44 @@
+#include "rl/gae.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cocktail::rl {
+
+AdvantageResult compute_gae(const RolloutBatch& batch, double gamma,
+                            double lambda, bool normalize) {
+  const std::size_t n = batch.size();
+  if (batch.rewards.size() != n || batch.values.size() != n ||
+      batch.next_values.size() != n || batch.terminal.size() != n ||
+      batch.truncated.size() != n)
+    throw std::invalid_argument("compute_gae: inconsistent batch");
+  AdvantageResult out;
+  out.advantages.assign(n, 0.0);
+  out.returns.assign(n, 0.0);
+  double gae = 0.0;
+  for (std::size_t t = n; t-- > 0;) {
+    const double not_terminal = batch.terminal[t] ? 0.0 : 1.0;
+    const double delta =
+        batch.rewards[t] + gamma * batch.next_values[t] * not_terminal -
+        batch.values[t];
+    // The λ-recursion stops at both genuine terminals and truncation points
+    // (the next sample belongs to a different episode).
+    const bool boundary = batch.terminal[t] || batch.truncated[t];
+    gae = delta + (boundary ? 0.0 : gamma * lambda * gae);
+    out.advantages[t] = gae;
+    out.returns[t] = gae + batch.values[t];
+  }
+  if (normalize && n > 1) {
+    double mean = 0.0;
+    for (double a : out.advantages) mean += a;
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (double a : out.advantages) var += (a - mean) * (a - mean);
+    var /= static_cast<double>(n);
+    const double std = std::sqrt(var) + 1e-8;
+    for (auto& a : out.advantages) a = (a - mean) / std;
+  }
+  return out;
+}
+
+}  // namespace cocktail::rl

@@ -1,0 +1,39 @@
+// Generalized Advantage Estimation (the advantage estimator Â in the
+// paper's PPO objective).
+#pragma once
+
+#include <vector>
+
+#include "la/vec.h"
+
+namespace cocktail::rl {
+
+/// One on-policy rollout segment (may span several episodes; `terminal[t]`
+/// marks real episode ends, `truncated[t]` marks time-limit cuts where the
+/// value bootstrap must continue through `next_value[t]`).
+struct RolloutBatch {
+  std::vector<la::Vec> states;
+  std::vector<la::Vec> actions;       ///< continuous actions...
+  std::vector<std::size_t> discrete_actions;  ///< ...or discrete indices.
+  std::vector<double> rewards;
+  std::vector<double> values;       ///< V(s_t) under the value net at collect time.
+  std::vector<double> next_values;  ///< V(s_{t+1}).
+  std::vector<double> log_probs;    ///< log pi_old(a_t | s_t).
+  std::vector<bool> terminal;
+  std::vector<bool> truncated;
+
+  [[nodiscard]] std::size_t size() const { return states.size(); }
+};
+
+struct AdvantageResult {
+  std::vector<double> advantages;  ///< GAE(γ, λ), normalized if requested.
+  std::vector<double> returns;     ///< advantage + value — value-net targets.
+};
+
+/// Computes GAE over a batch.  δ_t = r_t + γ·V(s_{t+1})·(1-terminal) − V(s_t);
+/// the recursion resets across both terminal and truncated boundaries.
+[[nodiscard]] AdvantageResult compute_gae(const RolloutBatch& batch,
+                                          double gamma, double lambda,
+                                          bool normalize = true);
+
+}  // namespace cocktail::rl

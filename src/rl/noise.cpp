@@ -1,0 +1,16 @@
+#include "rl/noise.h"
+
+namespace cocktail::rl {
+
+OuNoise::OuNoise(std::size_t dim, double theta, double sigma, double mu)
+    : theta_(theta), sigma_(sigma), mu_(mu), state_(dim, mu) {}
+
+void OuNoise::reset() { state_.assign(state_.size(), mu_); }
+
+la::Vec OuNoise::sample(util::Rng& rng) {
+  for (auto& x : state_)
+    x += theta_ * (mu_ - x) + sigma_ * rng.normal();
+  return state_;
+}
+
+}  // namespace cocktail::rl

@@ -1,0 +1,29 @@
+// Ornstein-Uhlenbeck exploration noise, as in the original DDPG paper [17].
+#pragma once
+
+#include "la/vec.h"
+#include "util/rng.h"
+
+namespace cocktail::rl {
+
+class OuNoise {
+ public:
+  /// dx = theta * (mu - x) dt + sigma dW, discretized with unit dt.
+  OuNoise(std::size_t dim, double theta = 0.15, double sigma = 0.2,
+          double mu = 0.0);
+
+  /// Resets the internal state to mu (start of an episode).
+  void reset();
+
+  /// Next correlated noise sample.
+  la::Vec sample(util::Rng& rng);
+
+  void set_sigma(double sigma) noexcept { sigma_ = sigma; }
+  [[nodiscard]] double sigma() const noexcept { return sigma_; }
+
+ private:
+  double theta_, sigma_, mu_;
+  la::Vec state_;
+};
+
+}  // namespace cocktail::rl

@@ -1,0 +1,337 @@
+#include "rl/ppo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "util/logging.h"
+
+namespace cocktail::rl {
+namespace {
+
+constexpr double kLogStdMin = -4.0;
+constexpr double kLogStdMax = 1.0;
+
+void clamp_log_std(la::Vec& log_std) {
+  for (auto& v : log_std) v = std::clamp(v, kLogStdMin, kLogStdMax);
+}
+
+double mean_episode_return(const std::vector<double>& returns) {
+  if (returns.empty()) return 0.0;
+  double sum = 0.0;
+  for (double r : returns) sum += r;
+  return sum / static_cast<double>(returns.size());
+}
+
+/// Adapts the KL penalty β as in the adaptive-KL PPO variant.
+void adapt_beta(double& beta, double observed_kl, double target) {
+  if (observed_kl > 1.5 * target) beta = std::min(beta * 2.0, 64.0);
+  else if (observed_kl < target / 1.5) beta = std::max(beta * 0.5, 1e-3);
+}
+
+}  // namespace
+
+double PpoStats::final_return_mean(std::size_t window) const {
+  if (iteration_mean_returns.empty()) return 0.0;
+  const std::size_t n = std::min(window, iteration_mean_returns.size());
+  double sum = 0.0;
+  for (std::size_t i = iteration_mean_returns.size() - n;
+       i < iteration_mean_returns.size(); ++i)
+    sum += iteration_mean_returns[i];
+  return sum / static_cast<double>(n);
+}
+
+// ---------------------------------------------------------------------------
+// Continuous (Gaussian) PPO — the adaptive mixing learner.
+// ---------------------------------------------------------------------------
+
+PpoGaussian::PpoGaussian(PpoConfig config) : config_(std::move(config)) {}
+
+nn::Mlp PpoGaussian::take_mean_net() {
+  return std::move(policy_->mean_net());
+}
+
+RolloutBatch PpoGaussian::collect(Env& env, util::Rng& rng) {
+  RolloutBatch batch;
+  la::Vec s = env.reset(rng);
+  int episode_step = 0;
+  while (static_cast<int>(batch.size()) < config_.steps_per_iteration) {
+    const auto sample = policy_->sample(s, rng);
+    const la::Vec executed = la::clip(sample.action, -1.0, 1.0);
+    const StepResult result = env.step(executed, rng);
+    ++episode_step;
+    const bool time_limit =
+        episode_step >= env.max_episode_steps() && !result.terminal;
+    batch.states.push_back(s);
+    batch.actions.push_back(sample.action);
+    batch.rewards.push_back(result.reward);
+    batch.values.push_back(value_net_.forward(s)[0]);
+    batch.next_values.push_back(value_net_.forward(result.next_state)[0]);
+    batch.log_probs.push_back(sample.log_prob);
+    batch.terminal.push_back(result.terminal);
+    batch.truncated.push_back(time_limit);
+    if (result.terminal || time_limit) {
+      s = env.reset(rng);
+      episode_step = 0;
+    } else {
+      s = result.next_state;
+    }
+  }
+  return batch;
+}
+
+double PpoGaussian::update(const RolloutBatch& batch,
+                           const AdvantageResult& adv, util::Rng& rng) {
+  // Freeze pi_old: means and stds at collection time.
+  std::vector<la::Vec> mu_old(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    mu_old[i] = policy_->mean(batch.states[i]);
+  const la::Vec std_old = policy_->stddev();
+
+  nn::Adam* policy_opt = policy_opt_.get();
+  nn::Adam* value_opt = value_opt_.get();
+  nn::AdamVec* log_std_opt = log_std_opt_.get();
+
+  double observed_kl = 0.0;
+  for (int epoch = 0; epoch < config_.update_epochs; ++epoch) {
+    const auto perm = rng.permutation(batch.size());
+    for (std::size_t start = 0; start < perm.size();
+         start += config_.minibatch) {
+      const std::size_t end = std::min(start + config_.minibatch, perm.size());
+      const double inv = 1.0 / static_cast<double>(end - start);
+      nn::Gradients policy_grads = policy_->mean_net().zero_gradients();
+      la::Vec log_std_grads = la::zeros(policy_->log_std().size());
+      nn::Gradients value_grads = value_net_.zero_gradients();
+      for (std::size_t k = start; k < end; ++k) {
+        const std::size_t i = perm[k];
+        const la::Vec& s = batch.states[i];
+        const la::Vec& a = batch.actions[i];
+        const double advantage = adv.advantages[i];
+        const double ratio =
+            std::exp(policy_->log_prob(s, a) - batch.log_probs[i]);
+        // Surrogate coefficient: d/dθ of ratio·Â is ratio·Â·dlogπ.  With
+        // clipping enabled the gradient vanishes outside the trust region
+        // (standard PPO-clip behaviour).
+        double coef = ratio * advantage;
+        if (config_.use_clip) {
+          const bool outside =
+              (advantage > 0.0 && ratio > 1.0 + config_.clip_epsilon) ||
+              (advantage < 0.0 && ratio < 1.0 - config_.clip_epsilon);
+          if (outside) coef = 0.0;
+        }
+        policy_->accumulate_log_prob_gradient(s, a, coef * inv, policy_grads,
+                                              log_std_grads);
+        policy_->accumulate_kl_gradient(mu_old[i], std_old, s,
+                                        config_.kl_penalty_beta * inv,
+                                        policy_grads, log_std_grads);
+        if (config_.entropy_coef > 0.0)
+          policy_->accumulate_entropy_gradient(config_.entropy_coef * inv,
+                                               log_std_grads);
+        // Value regression toward the GAE return.
+        nn::Mlp::Workspace ws;
+        const la::Vec v = value_net_.forward(s, ws);
+        const la::Vec dl = {inv * 2.0 * (v[0] - adv.returns[i])};
+        (void)value_net_.backward(ws, dl, value_grads);
+      }
+      policy_grads.clip_norm(config_.grad_clip);
+      value_grads.clip_norm(config_.grad_clip);
+      policy_opt->step(policy_->mean_net(), policy_grads);
+      log_std_opt->step(policy_->log_std(), log_std_grads);
+      clamp_log_std(policy_->log_std());
+      value_opt->step(value_net_, value_grads);
+    }
+  }
+  // Mean KL over the batch after the updates (for β adaptation).
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    observed_kl += policy_->kl_from(mu_old[i], std_old, batch.states[i]);
+  observed_kl /= static_cast<double>(batch.size());
+  adapt_beta(config_.kl_penalty_beta, observed_kl, config_.kl_target);
+  return observed_kl;
+}
+
+void PpoGaussian::initialize(Env& env) {
+  rng_ = std::make_unique<util::Rng>(config_.seed);
+  policy_ = std::make_unique<GaussianPolicy>(
+      env.state_dim(), config_.policy_hidden, env.action_dim(),
+      config_.initial_std, util::derive_seed(config_.seed, 301));
+  value_net_ = nn::Mlp::make(env.state_dim(), config_.value_hidden, 1,
+                             nn::Activation::kTanh, nn::Activation::kIdentity,
+                             util::derive_seed(config_.seed, 302));
+  policy_opt_ = std::make_unique<nn::Adam>(config_.policy_lr);
+  value_opt_ = std::make_unique<nn::Adam>(config_.value_lr);
+  log_std_opt_ = std::make_unique<nn::AdamVec>(config_.policy_lr);
+  iterations_done_ = 0;
+}
+
+PpoStats PpoGaussian::run_iterations(Env& env, int iterations) {
+  if (!policy_)
+    throw std::logic_error("PpoGaussian::run_iterations: not initialized");
+  PpoStats stats;
+  for (int iter = 0; iter < iterations; ++iter) {
+    const RolloutBatch batch = collect(env, *rng_);
+    const AdvantageResult adv =
+        compute_gae(batch, config_.gamma, config_.gae_lambda);
+    const double kl = update(batch, adv, *rng_);
+    // Episode returns within the batch (split at boundaries).
+    std::vector<double> returns;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      acc += batch.rewards[i];
+      if (batch.terminal[i] || batch.truncated[i]) {
+        returns.push_back(acc);
+        acc = 0.0;
+      }
+    }
+    const double mean_ret = mean_episode_return(returns);
+    stats.iteration_mean_returns.push_back(mean_ret);
+    stats.iteration_kls.push_back(kl);
+    if (progress_) progress_(iterations_done_, mean_ret);
+    ++iterations_done_;
+  }
+  return stats;
+}
+
+PpoStats PpoGaussian::train(Env& env) {
+  initialize(env);
+  return run_iterations(env, config_.iterations);
+}
+
+// ---------------------------------------------------------------------------
+// Categorical PPO — the switching baseline AS.
+// ---------------------------------------------------------------------------
+
+PpoCategorical::PpoCategorical(PpoConfig config) : config_(std::move(config)) {}
+
+nn::Mlp PpoCategorical::take_logits_net() {
+  return std::move(policy_->logits_net());
+}
+
+RolloutBatch PpoCategorical::collect(Env& env, util::Rng& rng) {
+  RolloutBatch batch;
+  la::Vec s = env.reset(rng);
+  int episode_step = 0;
+  while (static_cast<int>(batch.size()) < config_.steps_per_iteration) {
+    const auto sample = policy_->sample(s, rng);
+    const StepResult result =
+        env.step({static_cast<double>(sample.action)}, rng);
+    ++episode_step;
+    const bool time_limit =
+        episode_step >= env.max_episode_steps() && !result.terminal;
+    batch.states.push_back(s);
+    batch.discrete_actions.push_back(sample.action);
+    batch.rewards.push_back(result.reward);
+    batch.values.push_back(value_net_.forward(s)[0]);
+    batch.next_values.push_back(value_net_.forward(result.next_state)[0]);
+    batch.log_probs.push_back(sample.log_prob);
+    batch.terminal.push_back(result.terminal);
+    batch.truncated.push_back(time_limit);
+    if (result.terminal || time_limit) {
+      s = env.reset(rng);
+      episode_step = 0;
+    } else {
+      s = result.next_state;
+    }
+  }
+  return batch;
+}
+
+double PpoCategorical::update(const RolloutBatch& batch,
+                              const AdvantageResult& adv, util::Rng& rng) {
+  std::vector<la::Vec> probs_old(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    probs_old[i] = policy_->probabilities(batch.states[i]);
+
+  double observed_kl = 0.0;
+  for (int epoch = 0; epoch < config_.update_epochs; ++epoch) {
+    const auto perm = rng.permutation(batch.size());
+    for (std::size_t start = 0; start < perm.size();
+         start += config_.minibatch) {
+      const std::size_t end = std::min(start + config_.minibatch, perm.size());
+      const double inv = 1.0 / static_cast<double>(end - start);
+      nn::Gradients policy_grads = policy_->logits_net().zero_gradients();
+      nn::Gradients value_grads = value_net_.zero_gradients();
+      for (std::size_t k = start; k < end; ++k) {
+        const std::size_t i = perm[k];
+        const la::Vec& s = batch.states[i];
+        const std::size_t a = batch.discrete_actions[i];
+        const double advantage = adv.advantages[i];
+        const double ratio =
+            std::exp(policy_->log_prob(s, a) - batch.log_probs[i]);
+        double coef = ratio * advantage;
+        if (config_.use_clip) {
+          const bool outside =
+              (advantage > 0.0 && ratio > 1.0 + config_.clip_epsilon) ||
+              (advantage < 0.0 && ratio < 1.0 - config_.clip_epsilon);
+          if (outside) coef = 0.0;
+        }
+        policy_->accumulate_log_prob_gradient(s, a, coef * inv, policy_grads);
+        policy_->accumulate_kl_gradient(probs_old[i], s,
+                                        config_.kl_penalty_beta * inv,
+                                        policy_grads);
+        nn::Mlp::Workspace ws;
+        const la::Vec v = value_net_.forward(s, ws);
+        const la::Vec dl = {inv * 2.0 * (v[0] - adv.returns[i])};
+        (void)value_net_.backward(ws, dl, value_grads);
+      }
+      policy_grads.clip_norm(config_.grad_clip);
+      value_grads.clip_norm(config_.grad_clip);
+      policy_opt_->step(policy_->logits_net(), policy_grads);
+      value_opt_->step(value_net_, value_grads);
+    }
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    observed_kl += policy_->kl_from(probs_old[i], batch.states[i]);
+  observed_kl /= static_cast<double>(batch.size());
+  adapt_beta(config_.kl_penalty_beta, observed_kl, config_.kl_target);
+  return observed_kl;
+}
+
+void PpoCategorical::initialize(Env& env) {
+  rng_ = std::make_unique<util::Rng>(config_.seed);
+  policy_ = std::make_unique<CategoricalPolicy>(
+      env.state_dim(), config_.policy_hidden, env.action_dim(),
+      util::derive_seed(config_.seed, 401));
+  value_net_ = nn::Mlp::make(env.state_dim(), config_.value_hidden, 1,
+                             nn::Activation::kTanh, nn::Activation::kIdentity,
+                             util::derive_seed(config_.seed, 402));
+  policy_opt_ = std::make_unique<nn::Adam>(config_.policy_lr);
+  value_opt_ = std::make_unique<nn::Adam>(config_.value_lr);
+  iterations_done_ = 0;
+}
+
+PpoStats PpoCategorical::run_iterations(Env& env, int iterations) {
+  if (!policy_)
+    throw std::logic_error("PpoCategorical::run_iterations: not initialized");
+  PpoStats stats;
+  for (int iter = 0; iter < iterations; ++iter) {
+    const RolloutBatch batch = collect(env, *rng_);
+    const AdvantageResult adv =
+        compute_gae(batch, config_.gamma, config_.gae_lambda);
+    const double kl = update(batch, adv, *rng_);
+    std::vector<double> returns;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      acc += batch.rewards[i];
+      if (batch.terminal[i] || batch.truncated[i]) {
+        returns.push_back(acc);
+        acc = 0.0;
+      }
+    }
+    const double mean_ret = mean_episode_return(returns);
+    stats.iteration_mean_returns.push_back(mean_ret);
+    stats.iteration_kls.push_back(kl);
+    if (progress_) progress_(iterations_done_, mean_ret);
+    ++iterations_done_;
+  }
+  return stats;
+}
+
+PpoStats PpoCategorical::train(Env& env) {
+  initialize(env);
+  return run_iterations(env, config_.iterations);
+}
+
+}  // namespace cocktail::rl

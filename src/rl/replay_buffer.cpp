@@ -1,0 +1,37 @@
+#include "rl/replay_buffer.h"
+
+#include <stdexcept>
+
+namespace cocktail::rl {
+
+ReplayBuffer::ReplayBuffer(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0)
+    throw std::invalid_argument("ReplayBuffer: capacity must be positive");
+  storage_.reserve(capacity_);
+}
+
+void ReplayBuffer::add(Transition transition) {
+  if (storage_.size() < capacity_) {
+    storage_.push_back(std::move(transition));
+  } else {
+    storage_[next_] = std::move(transition);
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<const Transition*> ReplayBuffer::sample(std::size_t batch,
+                                                    util::Rng& rng) const {
+  if (empty()) throw std::logic_error("ReplayBuffer::sample: buffer empty");
+  std::vector<const Transition*> out;
+  out.reserve(batch);
+  for (std::size_t i = 0; i < batch; ++i)
+    out.push_back(&storage_[rng.uniform_index(storage_.size())]);
+  return out;
+}
+
+void ReplayBuffer::clear() {
+  storage_.clear();
+  next_ = 0;
+}
+
+}  // namespace cocktail::rl

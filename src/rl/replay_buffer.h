@@ -1,0 +1,43 @@
+// Uniform-sampling experience replay (Algorithm 1 line 1: replay memory D).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "la/vec.h"
+#include "util/rng.h"
+
+namespace cocktail::rl {
+
+struct Transition {
+  la::Vec state;
+  la::Vec action;
+  double reward = 0.0;
+  la::Vec next_state;
+  bool terminal = false;
+};
+
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(std::size_t capacity);
+
+  /// Appends a transition, evicting the oldest once at capacity.
+  void add(Transition transition);
+
+  [[nodiscard]] std::size_t size() const noexcept { return storage_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool empty() const noexcept { return storage_.empty(); }
+
+  /// Uniform sample with replacement of `batch` transitions.
+  [[nodiscard]] std::vector<const Transition*> sample(std::size_t batch,
+                                                      util::Rng& rng) const;
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_ = 0;  ///< ring cursor.
+  std::vector<Transition> storage_;
+};
+
+}  // namespace cocktail::rl

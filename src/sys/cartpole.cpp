@@ -1,0 +1,65 @@
+#include "sys/cartpole.h"
+
+#include <stdexcept>
+
+namespace cocktail::sys {
+
+CartPole::CartPole(CartPoleParams params) : params_(params) {}
+
+la::Vec CartPole::step(const la::Vec& s, const la::Vec& u,
+                       const la::Vec& omega) const {
+  if (s.size() != 4 || u.size() != 1)
+    throw std::invalid_argument("CartPole::step: bad dimensions");
+  (void)omega;  // No external disturbance stated in the paper.
+  const auto next =
+      cartpole_step<double>({s[0], s[1], s[2], s[3]}, u[0], params_);
+  return {next[0], next[1], next[2], next[3]};
+}
+
+Box CartPole::safe_region() const {
+  la::Vec lo = {-params_.position_bound, -Box::kUnbounded,
+                -params_.angle_bound, -Box::kUnbounded};
+  la::Vec hi = {params_.position_bound, Box::kUnbounded, params_.angle_bound,
+                Box::kUnbounded};
+  return Box(std::move(lo), std::move(hi));
+}
+
+Box CartPole::initial_set() const {
+  return Box::symmetric(4, params_.initial_bound);
+}
+
+Box CartPole::control_bounds() const {
+  return Box::symmetric(1, params_.control_bound);
+}
+
+Box CartPole::sampling_region() const {
+  const double v = params_.sampling_velocity_bound;
+  la::Vec lo = {-params_.position_bound, -v, -params_.angle_bound, -v};
+  la::Vec hi = {params_.position_bound, v, params_.angle_bound, v};
+  return Box(std::move(lo), std::move(hi));
+}
+
+void CartPole::linearize(la::Matrix& a, la::Matrix& b) const {
+  // Small-angle linearization around the upright equilibrium.
+  const double tau = params_.tau;
+  const double mt = params_.mass_total();
+  const double mp = params_.mass_pole;
+  const double l = params_.pole_length;
+  const double g = params_.gravity;
+  const double denom = l * (4.0 / 3.0 - mp / mt);
+  // theta_acc ≈ (g θ − u/mt) / denom;  s_acc ≈ u/mt − (mp l / mt) theta_acc.
+  const double dtheta_dth = g / denom;
+  const double dtheta_du = -1.0 / (mt * denom);
+  const double dsacc_dth = -(mp * l / mt) * dtheta_dth;
+  const double dsacc_du = 1.0 / mt - (mp * l / mt) * dtheta_du;
+  a = la::Matrix::identity(4);
+  a(0, 1) = tau;
+  a(1, 2) = tau * dsacc_dth;
+  a(2, 3) = tau;
+  a(3, 2) = tau * dtheta_dth;
+  b = la::Matrix(4, 1);
+  b(1, 0) = tau * dsacc_du;
+  b(3, 0) = tau * dtheta_du;
+}
+
+}  // namespace cocktail::sys

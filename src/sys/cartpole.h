@@ -1,0 +1,96 @@
+// Cartpole (the paper's third test system).
+//
+// The paper's typeset equations are the standard Barto/Sutton cartpole in
+// semi-implicit-free Euler form with the paper's constants
+// m_c = 1, m_p = 0.1, m_t = 1.1, g = 9.8, l = 1, τ = 0.02, T = 200:
+//
+//   ψ    = (u + m_p l s4² sin s3) / m_t
+//   θacc = (g sin s3 − cos s3 · ψ) / (l (4/3 − m_p cos² s3 / m_t))
+//   sacc = ψ − m_p l θacc cos s3 / m_t
+//
+//   s1 += τ s2;  s2 += τ sacc;  s3 += τ s4;  s4 += τ θacc
+//
+// X = { s : s1 ∈ [-2.4, 2.4], s3 ∈ [-0.209, 0.209] } (s2, s4 unbounded),
+// X0 = [-0.2, 0.2]⁴.  The paper does not state a control bound; we use the
+// conventional continuous-cartpole bound u ∈ [-10, 10] (see DESIGN.md §7).
+#pragma once
+
+#include <array>
+#include <cmath>
+
+#include "sys/system.h"
+
+namespace cocktail::sys {
+
+struct CartPoleParams {
+  double tau = 0.02;
+  double mass_cart = 1.0;
+  double mass_pole = 0.1;
+  double gravity = 9.8;
+  double pole_length = 1.0;
+  double control_bound = 10.0;
+  double position_bound = 2.4;
+  double angle_bound = 0.209;
+  double initial_bound = 0.2;
+  /// Velocity bound used only for the (bounded) sampling region.
+  double sampling_velocity_bound = 2.5;
+  int horizon = 200;
+
+  [[nodiscard]] double mass_total() const { return mass_cart + mass_pole; }
+};
+
+/// One Euler step over any scalar supporting +,-,*,/ and sin/cos (found by
+/// ADL, so verify::Interval works).  State: (x, ẋ, θ, θ̇).
+template <typename S>
+[[nodiscard]] std::array<S, 4> cartpole_step(const std::array<S, 4>& s,
+                                             const S& u,
+                                             const CartPoleParams& p) {
+  using std::cos;
+  using std::sin;
+  const double mt = p.mass_total();
+  const double ml = p.mass_pole * p.pole_length;
+  const S sin3 = sin(s[2]);
+  const S cos3 = cos(s[2]);
+  const S psi = (u + sin3 * (s[3] * s[3]) * ml) * (1.0 / mt);
+  const S denom =
+      (cos3 * cos3) * (-p.mass_pole / mt) + (4.0 / 3.0);
+  const S theta_acc = (sin3 * p.gravity - cos3 * psi) * (1.0 / p.pole_length) / denom;
+  const S s_acc = psi - cos3 * theta_acc * (ml / mt);
+  std::array<S, 4> next;
+  next[0] = s[0] + s[1] * p.tau;
+  next[1] = s[1] + s_acc * p.tau;
+  next[2] = s[2] + s[3] * p.tau;
+  next[3] = s[3] + theta_acc * p.tau;
+  return next;
+}
+
+class CartPole final : public System {
+ public:
+  explicit CartPole(CartPoleParams params = {});
+
+  [[nodiscard]] std::string name() const override { return "cartpole"; }
+  [[nodiscard]] std::size_t state_dim() const override { return 4; }
+  [[nodiscard]] std::size_t control_dim() const override { return 1; }
+
+  [[nodiscard]] la::Vec step(const la::Vec& s, const la::Vec& u,
+                             const la::Vec& omega) const override;
+
+  [[nodiscard]] Box safe_region() const override;
+  [[nodiscard]] Box initial_set() const override;
+  [[nodiscard]] Box control_bounds() const override;
+  [[nodiscard]] Box sampling_region() const override;
+  [[nodiscard]] int horizon() const override { return params_.horizon; }
+  [[nodiscard]] double dt() const override { return params_.tau; }
+
+  [[nodiscard]] bool has_linearization() const override { return true; }
+  void linearize(la::Matrix& a, la::Matrix& b) const override;
+
+  [[nodiscard]] const CartPoleParams& params() const noexcept {
+    return params_;
+  }
+
+ private:
+  CartPoleParams params_;
+};
+
+}  // namespace cocktail::sys

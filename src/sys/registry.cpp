@@ -1,0 +1,24 @@
+#include "sys/registry.h"
+
+#include <stdexcept>
+
+#include "sys/cartpole.h"
+#include "sys/threed.h"
+#include "sys/vanderpol.h"
+
+namespace cocktail::sys {
+
+SystemPtr make_system(const std::string& name) {
+  if (name == "vanderpol") return std::make_shared<VanDerPol>();
+  if (name == "threed") return std::make_shared<ThreeD>();
+  if (name == "cartpole") return std::make_shared<CartPole>();
+  throw std::invalid_argument("make_system: unknown system '" + name + "'");
+}
+
+const std::vector<std::string>& system_names() {
+  static const std::vector<std::string> names = {"vanderpol", "threed",
+                                                 "cartpole"};
+  return names;
+}
+
+}  // namespace cocktail::sys

@@ -1,0 +1,18 @@
+// Factory for the paper's three test systems by name.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sys/system.h"
+
+namespace cocktail::sys {
+
+/// Builds "vanderpol", "threed", or "cartpole" with the paper's parameters.
+/// Throws std::invalid_argument for unknown names.
+[[nodiscard]] SystemPtr make_system(const std::string& name);
+
+/// Names accepted by make_system, in the paper's presentation order.
+[[nodiscard]] const std::vector<std::string>& system_names();
+
+}  // namespace cocktail::sys

@@ -1,0 +1,36 @@
+#include "sys/threed.h"
+
+#include <stdexcept>
+
+namespace cocktail::sys {
+
+ThreeD::ThreeD(ThreeDParams params) : params_(params) {}
+
+la::Vec ThreeD::step(const la::Vec& s, const la::Vec& u,
+                     const la::Vec& omega) const {
+  if (s.size() != 3 || u.size() != 1)
+    throw std::invalid_argument("ThreeD::step: bad dimensions");
+  (void)omega;  // The paper states no external disturbance for this plant.
+  const auto next = threed_step<double>({s[0], s[1], s[2]}, u[0], params_.tau);
+  return {next[0], next[1], next[2]};
+}
+
+Box ThreeD::safe_region() const { return Box::symmetric(3, params_.state_bound); }
+
+Box ThreeD::initial_set() const { return safe_region(); }
+
+Box ThreeD::control_bounds() const {
+  return Box::symmetric(1, params_.control_bound);
+}
+
+void ThreeD::linearize(la::Matrix& a, la::Matrix& b) const {
+  // Triple integrator: the z² term vanishes at the origin.
+  const double tau = params_.tau;
+  a = la::Matrix::identity(3);
+  a(0, 1) = tau;
+  a(1, 2) = tau;
+  b = la::Matrix(3, 1);
+  b(2, 0) = tau;
+}
+
+}  // namespace cocktail::sys

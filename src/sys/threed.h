@@ -1,0 +1,59 @@
+// 3D polynomial system (example 15 of Sassi et al. [25]):
+//
+//   ẋ = y + 0.5 z²,  ẏ = z,  ż = u
+//
+// discretized by forward Euler with τ = 0.05.  X = X0 = [-0.5, 0.5]³,
+// u ∈ [-10, 10], T = 100, no external disturbance is stated in the paper.
+#pragma once
+
+#include <array>
+
+#include "sys/system.h"
+
+namespace cocktail::sys {
+
+struct ThreeDParams {
+  double tau = 0.05;
+  double control_bound = 10.0;
+  double state_bound = 0.5;
+  int horizon = 100;
+};
+
+/// One Euler step over any scalar ring (double or verify::Interval).
+template <typename S>
+[[nodiscard]] std::array<S, 3> threed_step(const std::array<S, 3>& s,
+                                           const S& u, double tau) {
+  std::array<S, 3> next;
+  next[0] = s[0] + (s[1] + s[2] * s[2] * 0.5) * tau;
+  next[1] = s[1] + s[2] * tau;
+  next[2] = s[2] + u * tau;
+  return next;
+}
+
+class ThreeD final : public System {
+ public:
+  explicit ThreeD(ThreeDParams params = {});
+
+  [[nodiscard]] std::string name() const override { return "threed"; }
+  [[nodiscard]] std::size_t state_dim() const override { return 3; }
+  [[nodiscard]] std::size_t control_dim() const override { return 1; }
+
+  [[nodiscard]] la::Vec step(const la::Vec& s, const la::Vec& u,
+                             const la::Vec& omega) const override;
+
+  [[nodiscard]] Box safe_region() const override;
+  [[nodiscard]] Box initial_set() const override;
+  [[nodiscard]] Box control_bounds() const override;
+  [[nodiscard]] int horizon() const override { return params_.horizon; }
+  [[nodiscard]] double dt() const override { return params_.tau; }
+
+  [[nodiscard]] bool has_linearization() const override { return true; }
+  void linearize(la::Matrix& a, la::Matrix& b) const override;
+
+  [[nodiscard]] const ThreeDParams& params() const noexcept { return params_; }
+
+ private:
+  ThreeDParams params_;
+};
+
+}  // namespace cocktail::sys

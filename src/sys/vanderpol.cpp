@@ -1,0 +1,44 @@
+#include "sys/vanderpol.h"
+
+#include <stdexcept>
+
+namespace cocktail::sys {
+
+VanDerPol::VanDerPol(VanDerPolParams params) : params_(params) {}
+
+la::Vec VanDerPol::step(const la::Vec& s, const la::Vec& u,
+                        const la::Vec& omega) const {
+  if (s.size() != 2 || u.size() != 1)
+    throw std::invalid_argument("VanDerPol::step: bad dimensions");
+  const double w = omega.empty() ? 0.0 : omega[0];
+  const auto next = vanderpol_step<double>({s[0], s[1]}, u[0], w, params_.tau);
+  return {next[0], next[1]};
+}
+
+Box VanDerPol::safe_region() const {
+  return Box::symmetric(2, params_.state_bound);
+}
+
+Box VanDerPol::initial_set() const { return safe_region(); }
+
+Box VanDerPol::control_bounds() const {
+  return Box::symmetric(1, params_.control_bound);
+}
+
+Box VanDerPol::disturbance_bounds() const {
+  return Box::symmetric(1, params_.disturbance_bound);
+}
+
+void VanDerPol::linearize(la::Matrix& a, la::Matrix& b) const {
+  // Around the origin: d(s1)/dt = s2, d(s2)/dt = s2 - s1 + u.
+  const double tau = params_.tau;
+  a = la::Matrix(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = tau;
+  a(1, 0) = -tau;
+  a(1, 1) = 1.0 + tau;
+  b = la::Matrix(2, 1);
+  b(1, 0) = tau;
+}
+
+}  // namespace cocktail::sys

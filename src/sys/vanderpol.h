@@ -1,0 +1,71 @@
+// Van der Pol oscillator (paper Eq. (5)):
+//
+//   s1(t+1) = s1 + τ s2
+//   s2(t+1) = s2 + τ [(1 - s1²) s2 - s1 + u] + ω
+//
+// X = X0 = [-2, 2]², u ∈ [-20, 20], ω ~ U[-0.05, 0.05], τ = 0.05, T = 100.
+//
+// The dynamics step is a template over the scalar type so the verification
+// substrate can evaluate it with interval arithmetic (natural inclusion)
+// using exactly the same expression the simulator runs with doubles.
+#pragma once
+
+#include <array>
+
+#include "sys/system.h"
+
+namespace cocktail::sys {
+
+struct VanDerPolParams {
+  double tau = 0.05;
+  double control_bound = 20.0;
+  double disturbance_bound = 0.05;
+  double state_bound = 2.0;
+  int horizon = 100;
+};
+
+/// One Euler step of the Van der Pol dynamics over any ring-like scalar
+/// (double or verify::Interval).  `w` enters only the s2 update, as in the
+/// paper.
+template <typename S>
+[[nodiscard]] std::array<S, 2> vanderpol_step(const std::array<S, 2>& s,
+                                              const S& u, const S& w,
+                                              double tau) {
+  const S one(1.0);
+  std::array<S, 2> next;
+  next[0] = s[0] + s[1] * tau;
+  next[1] = s[1] + ((one - s[0] * s[0]) * s[1] - s[0] + u) * tau + w;
+  return next;
+}
+
+class VanDerPol final : public System {
+ public:
+  explicit VanDerPol(VanDerPolParams params = {});
+
+  [[nodiscard]] std::string name() const override { return "vanderpol"; }
+  [[nodiscard]] std::size_t state_dim() const override { return 2; }
+  [[nodiscard]] std::size_t control_dim() const override { return 1; }
+  [[nodiscard]] std::size_t disturbance_dim() const override { return 1; }
+
+  [[nodiscard]] la::Vec step(const la::Vec& s, const la::Vec& u,
+                             const la::Vec& omega) const override;
+
+  [[nodiscard]] Box safe_region() const override;
+  [[nodiscard]] Box initial_set() const override;
+  [[nodiscard]] Box control_bounds() const override;
+  [[nodiscard]] Box disturbance_bounds() const override;
+  [[nodiscard]] int horizon() const override { return params_.horizon; }
+  [[nodiscard]] double dt() const override { return params_.tau; }
+
+  [[nodiscard]] bool has_linearization() const override { return true; }
+  void linearize(la::Matrix& a, la::Matrix& b) const override;
+
+  [[nodiscard]] const VanDerPolParams& params() const noexcept {
+    return params_;
+  }
+
+ private:
+  VanDerPolParams params_;
+};
+
+}  // namespace cocktail::sys

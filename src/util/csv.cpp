@@ -1,0 +1,53 @@
+#include "util/csv.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace cocktail::util {
+
+std::string format_number(double value) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  char buf[64];
+  // %.12g round-trips everything we log while trimming trailing zeros.
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  return buf;
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : path_(path), out_(path), arity_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << header[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  if (values.size() != arity_)
+    throw std::invalid_argument("CsvWriter: row arity mismatch");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << format_number(values[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::row_text(const std::vector<std::string>& values) {
+  if (values.size() != arity_)
+    throw std::invalid_argument("CsvWriter: row arity mismatch");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    const bool needs_quote = values[i].find(',') != std::string::npos;
+    if (needs_quote) out_ << '"' << values[i] << '"';
+    else out_ << values[i];
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+}  // namespace cocktail::util

@@ -1,0 +1,40 @@
+// Small CSV writer used by benches to dump figure data (control traces,
+// invariant-set cells, reachable boxes) for plotting.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace cocktail::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.  Throws
+  /// std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Appends one data row; must match the header arity.
+  void row(const std::vector<double>& values);
+  /// Mixed string/number row (strings are quoted if they contain commas).
+  void row_text(const std::vector<std::string>& values);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t arity_;
+  std::size_t rows_ = 0;
+};
+
+/// Formats a double with enough digits to round-trip but without noise
+/// ("0.25" not "0.250000000000000").
+[[nodiscard]] std::string format_number(double value);
+
+}  // namespace cocktail::util

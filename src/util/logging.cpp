@@ -1,0 +1,49 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace cocktail::util {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?";
+}
+
+double elapsed_seconds() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return std::chrono::duration<double>(clock::now() - start).count();
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void log_line(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  const std::scoped_lock lock(g_mutex);
+  std::fprintf(stderr, "[%8.2fs %s] %s\n", elapsed_seconds(), tag(level),
+               message.c_str());
+}
+
+}  // namespace cocktail::util

@@ -1,0 +1,50 @@
+// Minimal leveled logger.
+//
+// The library is quiet by default (kWarn); benches and examples raise the
+// level to kInfo for progress reporting.  Output goes to stderr so CSV/table
+// rows on stdout stay machine-readable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace cocktail::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emits one line (with level tag and elapsed wall time) to stderr.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace cocktail::util
+
+#define COCKTAIL_LOG(level) ::cocktail::util::detail::LogStream(level)
+#define COCKTAIL_DEBUG COCKTAIL_LOG(::cocktail::util::LogLevel::kDebug)
+#define COCKTAIL_INFO COCKTAIL_LOG(::cocktail::util::LogLevel::kInfo)
+#define COCKTAIL_WARN COCKTAIL_LOG(::cocktail::util::LogLevel::kWarn)
+#define COCKTAIL_ERROR COCKTAIL_LOG(::cocktail::util::LogLevel::kError)

@@ -1,0 +1,43 @@
+#include "util/paths.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+
+namespace cocktail::util {
+namespace {
+
+std::string env_or(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  return (value != nullptr && *value != '\0') ? value : fallback;
+}
+
+}  // namespace
+
+const std::string& ensure_dir(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec && !std::filesystem::is_directory(path))
+    throw std::runtime_error("ensure_dir: cannot create " + path + ": " +
+                             ec.message());
+  return path;
+}
+
+std::string model_dir() {
+  static const std::string dir =
+      ensure_dir(env_or("COCKTAIL_MODEL_DIR", "cocktail_models"));
+  return dir;
+}
+
+std::string output_dir() {
+  static const std::string dir =
+      ensure_dir(env_or("COCKTAIL_OUT_DIR", "cocktail_out"));
+  return dir;
+}
+
+bool file_exists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::is_regular_file(path, ec);
+}
+
+}  // namespace cocktail::util

@@ -1,0 +1,25 @@
+// Locations for cached trained models and bench output artifacts.
+//
+// Benches share trained experts/policies through the model cache so the
+// whole `for b in build/bench/*` loop does not retrain the same networks.
+// Override with the COCKTAIL_MODEL_DIR / COCKTAIL_OUT_DIR environment
+// variables.
+#pragma once
+
+#include <string>
+
+namespace cocktail::util {
+
+/// Directory for serialized networks (created on demand).
+[[nodiscard]] std::string model_dir();
+
+/// Directory for bench CSV/figure output (created on demand).
+[[nodiscard]] std::string output_dir();
+
+/// Ensures a directory exists; returns the path.  Throws on failure.
+const std::string& ensure_dir(const std::string& path);
+
+/// True if a regular file exists at `path`.
+[[nodiscard]] bool file_exists(const std::string& path);
+
+}  // namespace cocktail::util

@@ -1,0 +1,106 @@
+#include "verify/bernstein.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cocktail::verify {
+
+double binomial(int n, int k) {
+  if (k < 0 || k > n) return 0.0;
+  k = std::min(k, n - k);
+  double out = 1.0;
+  for (int i = 1; i <= k; ++i)
+    out = out * static_cast<double>(n - k + i) / static_cast<double>(i);
+  return out;
+}
+
+BernsteinPoly BernsteinPoly::fit(
+    const std::function<double(const la::Vec&)>& f, const IBox& box,
+    const std::vector<int>& degrees) {
+  if (degrees.size() != box.size())
+    throw std::invalid_argument("BernsteinPoly::fit: degree arity mismatch");
+  BernsteinPoly poly;
+  poly.box_ = box;
+  poly.degrees_ = degrees;
+  std::size_t total = 1;
+  for (int d : degrees) {
+    if (d < 1) throw std::invalid_argument("BernsteinPoly::fit: degree < 1");
+    total *= static_cast<std::size_t>(d + 1);
+  }
+  poly.coeffs_.resize(total);
+  la::Vec x(box.size());
+  for (std::size_t index = 0; index < total; ++index) {
+    std::size_t rem = index;
+    for (std::size_t dim = 0; dim < box.size(); ++dim) {
+      const auto d = static_cast<std::size_t>(degrees[dim]);
+      const std::size_t k = rem % (d + 1);
+      rem /= (d + 1);
+      x[dim] = box[dim].lo() + box[dim].width() * static_cast<double>(k) /
+                                   static_cast<double>(d);
+    }
+    poly.coeffs_[index] = f(x);
+  }
+  return poly;
+}
+
+double BernsteinPoly::eval(const la::Vec& x) const {
+  if (x.size() != box_.size())
+    throw std::invalid_argument("BernsteinPoly::eval: dimension mismatch");
+  // Per-dimension Bernstein basis values at the normalized coordinate.
+  std::vector<std::vector<double>> basis(box_.size());
+  for (std::size_t dim = 0; dim < box_.size(); ++dim) {
+    const int d = degrees_[dim];
+    const double w = box_[dim].width();
+    const double t =
+        w > 0.0 ? std::clamp((x[dim] - box_[dim].lo()) / w, 0.0, 1.0) : 0.0;
+    basis[dim].resize(static_cast<std::size_t>(d) + 1);
+    for (int k = 0; k <= d; ++k)
+      basis[dim][k] = binomial(d, k) * std::pow(t, k) *
+                      std::pow(1.0 - t, d - k);
+  }
+  double acc = 0.0;
+  for (std::size_t index = 0; index < coeffs_.size(); ++index) {
+    std::size_t rem = index;
+    double b = 1.0;
+    for (std::size_t dim = 0; dim < box_.size(); ++dim) {
+      const auto d = static_cast<std::size_t>(degrees_[dim]);
+      b *= basis[dim][rem % (d + 1)];
+      rem /= (d + 1);
+    }
+    acc += coeffs_[index] * b;
+  }
+  return acc;
+}
+
+Interval BernsteinPoly::range() const {
+  const auto [lo_it, hi_it] =
+      std::minmax_element(coeffs_.begin(), coeffs_.end());
+  return {*lo_it, *hi_it};
+}
+
+double BernsteinPoly::error_bound(double lipschitz, const IBox& box,
+                                  const std::vector<int>& degrees) {
+  double bound = 0.0;
+  for (std::size_t i = 0; i < box.size(); ++i)
+    bound += box[i].width() / std::sqrt(static_cast<double>(degrees[i]));
+  return 0.5 * lipschitz * bound;
+}
+
+std::vector<int> BernsteinPoly::degrees_for(double lipschitz, const IBox& box,
+                                            double epsilon, int max_degree,
+                                            double& achieved) {
+  const auto n = static_cast<double>(box.size());
+  std::vector<int> degrees(box.size(), 1);
+  for (std::size_t i = 0; i < box.size(); ++i) {
+    // Equal error split: (L/2)·w_i/√d_i = ε/n  =>  d_i = (n·L·w_i/(2ε))².
+    const double needed =
+        n * lipschitz * box[i].width() / (2.0 * epsilon);
+    const double d = std::ceil(needed * needed);
+    degrees[i] = std::clamp(static_cast<int>(d), 1, max_degree);
+  }
+  achieved = error_bound(lipschitz, box, degrees);
+  return degrees;
+}
+
+}  // namespace cocktail::verify

@@ -1,0 +1,96 @@
+// Interval arithmetic for the verification substrate (Section III-C).
+//
+// Natural inclusion functions over closed intervals [lo, hi].  The plant
+// dynamics are evaluated on intervals through the same scalar-templated
+// step functions the simulator uses with doubles (src/sys/*.h), so the
+// verified model is the simulated model by construction.
+//
+// Rounding: operations use round-to-nearest double arithmetic and then
+// inflate outward by one ulp-scale epsilon (`kOutward`), which dominates
+// rounding error at the magnitudes these systems produce.  This is the
+// pragmatic scheme used by several reachability tools; a fully
+// directed-rounding backend could be swapped in behind the same interface.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "la/vec.h"
+
+namespace cocktail::verify {
+
+class Interval {
+ public:
+  constexpr Interval() = default;
+  /// Degenerate (point) interval.
+  constexpr Interval(double point) : lo_(point), hi_(point) {}  // NOLINT(google-explicit-constructor): scalar lifting is the intended ergonomics for templated dynamics.
+  constexpr Interval(double lo, double hi) : lo_(lo), hi_(hi) {}
+
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+  [[nodiscard]] double width() const noexcept { return hi_ - lo_; }
+  [[nodiscard]] double mid() const noexcept { return 0.5 * (lo_ + hi_); }
+  [[nodiscard]] double radius() const noexcept { return 0.5 * (hi_ - lo_); }
+  [[nodiscard]] bool valid() const noexcept { return lo_ <= hi_; }
+
+  [[nodiscard]] bool contains(double x) const noexcept {
+    return lo_ <= x && x <= hi_;
+  }
+  [[nodiscard]] bool contains(const Interval& other) const noexcept {
+    return lo_ <= other.lo_ && other.hi_ <= hi_;
+  }
+  [[nodiscard]] bool intersects(const Interval& other) const noexcept {
+    return lo_ <= other.hi_ && other.lo_ <= hi_;
+  }
+
+  [[nodiscard]] Interval operator+(const Interval& o) const;
+  [[nodiscard]] Interval operator-(const Interval& o) const;
+  [[nodiscard]] Interval operator*(const Interval& o) const;
+  [[nodiscard]] Interval operator*(double k) const;
+  [[nodiscard]] Interval operator/(double k) const;
+  /// Interval division; throws std::domain_error if `o` contains zero.
+  [[nodiscard]] Interval operator/(const Interval& o) const;
+  [[nodiscard]] Interval operator-() const { return {-hi_, -lo_}; }
+
+  /// Tight enclosure of x² (non-negative).
+  [[nodiscard]] Interval square() const;
+  /// Minkowski sum with [-r, r].
+  [[nodiscard]] Interval inflate(double r) const { return {lo_ - r, hi_ + r}; }
+  /// Smallest interval containing both.
+  [[nodiscard]] Interval hull(const Interval& o) const;
+  /// Intersection clamped to validity; callers should check valid().
+  [[nodiscard]] Interval intersect(const Interval& o) const;
+  /// clip(·, b.lo, b.hi) image — exact for the monotone clamp.
+  [[nodiscard]] Interval clamp_to(const Interval& bounds) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  double lo_ = 0.0;
+  double hi_ = 0.0;
+};
+
+/// Enclosures of sin/cos found by ADL from the templated dynamics.
+[[nodiscard]] Interval sin(const Interval& x);
+[[nodiscard]] Interval cos(const Interval& x);
+
+/// Axis-aligned interval box.
+using IBox = std::vector<Interval>;
+
+[[nodiscard]] IBox make_box(const la::Vec& lo, const la::Vec& hi);
+/// Point box from a vector.
+[[nodiscard]] IBox point_box(const la::Vec& point);
+[[nodiscard]] la::Vec box_lo(const IBox& box);
+[[nodiscard]] la::Vec box_hi(const IBox& box);
+[[nodiscard]] la::Vec box_mid(const IBox& box);
+[[nodiscard]] double box_max_width(const IBox& box);
+[[nodiscard]] bool box_contains(const IBox& box, const la::Vec& point);
+[[nodiscard]] bool box_contains_box(const IBox& outer, const IBox& inner);
+[[nodiscard]] IBox box_hull(const IBox& a, const IBox& b);
+/// Splits the widest dimension in half.
+[[nodiscard]] std::pair<IBox, IBox> box_bisect(const IBox& box);
+/// Uniform subdivision into `parts_per_dim[i]` slices per dimension.
+[[nodiscard]] std::vector<IBox> box_subdivide(
+    const IBox& box, const std::vector<int>& parts_per_dim);
+
+}  // namespace cocktail::verify

@@ -1,0 +1,81 @@
+#include "verify/interval_dynamics.h"
+
+#include <stdexcept>
+
+#include "sys/cartpole.h"
+#include "sys/threed.h"
+#include "sys/vanderpol.h"
+
+namespace cocktail::verify {
+namespace {
+
+class VanDerPolIntervalDynamics final : public IntervalDynamics {
+ public:
+  explicit VanDerPolIntervalDynamics(const sys::VanDerPol& system)
+      : params_(system.params()) {}
+
+  [[nodiscard]] std::size_t state_dim() const override { return 2; }
+
+  [[nodiscard]] IBox step(const IBox& state,
+                          const IBox& control) const override {
+    const Interval w(-params_.disturbance_bound, params_.disturbance_bound);
+    const auto next = sys::vanderpol_step<Interval>(
+        {state[0], state[1]}, control[0], w, params_.tau);
+    return {next[0], next[1]};
+  }
+
+ private:
+  sys::VanDerPolParams params_;
+};
+
+class ThreeDIntervalDynamics final : public IntervalDynamics {
+ public:
+  explicit ThreeDIntervalDynamics(const sys::ThreeD& system)
+      : params_(system.params()) {}
+
+  [[nodiscard]] std::size_t state_dim() const override { return 3; }
+
+  [[nodiscard]] IBox step(const IBox& state,
+                          const IBox& control) const override {
+    const auto next = sys::threed_step<Interval>(
+        {state[0], state[1], state[2]}, control[0], params_.tau);
+    return {next[0], next[1], next[2]};
+  }
+
+ private:
+  sys::ThreeDParams params_;
+};
+
+class CartPoleIntervalDynamics final : public IntervalDynamics {
+ public:
+  explicit CartPoleIntervalDynamics(const sys::CartPole& system)
+      : params_(system.params()) {}
+
+  [[nodiscard]] std::size_t state_dim() const override { return 4; }
+
+  [[nodiscard]] IBox step(const IBox& state,
+                          const IBox& control) const override {
+    const auto next = sys::cartpole_step<Interval>(
+        {state[0], state[1], state[2], state[3]}, control[0], params_);
+    return {next[0], next[1], next[2], next[3]};
+  }
+
+ private:
+  sys::CartPoleParams params_;
+};
+
+}  // namespace
+
+std::unique_ptr<IntervalDynamics> make_interval_dynamics(
+    const sys::System& system) {
+  if (const auto* vdp = dynamic_cast<const sys::VanDerPol*>(&system))
+    return std::make_unique<VanDerPolIntervalDynamics>(*vdp);
+  if (const auto* threed = dynamic_cast<const sys::ThreeD*>(&system))
+    return std::make_unique<ThreeDIntervalDynamics>(*threed);
+  if (const auto* cartpole = dynamic_cast<const sys::CartPole*>(&system))
+    return std::make_unique<CartPoleIntervalDynamics>(*cartpole);
+  throw std::invalid_argument("make_interval_dynamics: unsupported system " +
+                              system.name());
+}
+
+}  // namespace cocktail::verify

@@ -1,0 +1,185 @@
+#include "verify/invariant.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace cocktail::verify {
+namespace {
+
+/// Flattened cell indexing over the grid (dimension 0 fastest).
+struct GridIndexer {
+  std::vector<int> grid;
+  sys::Box domain;
+
+  [[nodiscard]] std::size_t cell_count() const {
+    std::size_t n = 1;
+    for (int g : grid) n *= static_cast<std::size_t>(g);
+    return n;
+  }
+
+  [[nodiscard]] IBox cell_box(std::size_t index) const {
+    IBox box(grid.size());
+    std::size_t rem = index;
+    for (std::size_t d = 0; d < grid.size(); ++d) {
+      const auto g = static_cast<std::size_t>(grid[d]);
+      const std::size_t k = rem % g;
+      rem /= g;
+      const double w = (domain.hi[d] - domain.lo[d]) / static_cast<double>(g);
+      box[d] = {domain.lo[d] + static_cast<double>(k) * w,
+                domain.lo[d] + static_cast<double>(k + 1) * w};
+    }
+    return box;
+  }
+
+  /// Index range [lo_k, hi_k] of cells overlapping `box` along each dim, or
+  /// false if the box leaves the domain.
+  [[nodiscard]] bool overlap_range(const IBox& box, std::vector<int>& lo_k,
+                                   std::vector<int>& hi_k) const {
+    lo_k.resize(grid.size());
+    hi_k.resize(grid.size());
+    for (std::size_t d = 0; d < grid.size(); ++d) {
+      if (box[d].lo() < domain.lo[d] || box[d].hi() > domain.hi[d])
+        return false;
+      const double w =
+          (domain.hi[d] - domain.lo[d]) / static_cast<double>(grid[d]);
+      lo_k[d] = std::clamp(
+          static_cast<int>(std::floor((box[d].lo() - domain.lo[d]) / w)), 0,
+          grid[d] - 1);
+      hi_k[d] = std::clamp(
+          static_cast<int>(std::floor((box[d].hi() - domain.lo[d]) / w)), 0,
+          grid[d] - 1);
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+IBox InvariantResult::cell_box(const sys::Box& domain,
+                               std::size_t index) const {
+  const GridIndexer indexer{grid, domain};
+  return indexer.cell_box(index);
+}
+
+bool InvariantResult::contains(const sys::Box& domain,
+                               const la::Vec& point) const {
+  if (!domain.contains(point)) return false;
+  std::size_t index = 0;
+  std::size_t stride = 1;
+  for (std::size_t d = 0; d < grid.size(); ++d) {
+    const double w =
+        (domain.hi[d] - domain.lo[d]) / static_cast<double>(grid[d]);
+    const int k = std::clamp(
+        static_cast<int>(std::floor((point[d] - domain.lo[d]) / w)), 0,
+        grid[d] - 1);
+    index += static_cast<std::size_t>(k) * stride;
+    stride *= static_cast<std::size_t>(grid[d]);
+  }
+  return member[index] != 0;
+}
+
+InvariantSetComputer::InvariantSetComputer(sys::SystemPtr system,
+                                           const ctrl::Controller& controller,
+                                           InvariantConfig config)
+    : system_(std::move(system)), controller_(controller),
+      config_(std::move(config)) {
+  if (!system_->safe_region().bounded())
+    throw std::invalid_argument(
+        "InvariantSetComputer: safe region must be bounded (use a bounded "
+        "sub-domain for systems with unconstrained dimensions)");
+}
+
+InvariantResult InvariantSetComputer::compute() const {
+  util::Stopwatch timer;
+  InvariantResult result;
+  const sys::Box domain = system_->safe_region();
+  result.grid = config_.grid;
+  if (result.grid.empty()) result.grid.assign(system_->state_dim(), 40);
+  const GridIndexer indexer{result.grid, domain};
+  const std::size_t cells = indexer.cell_count();
+  result.member.assign(cells, 1);
+
+  NnAbstraction abstraction(controller_, config_.abstraction);
+  VerificationBudget budget = config_.budget;
+  const auto dynamics = make_interval_dynamics(*system_);
+  const IBox u_bounds =
+      make_box(system_->control_bounds().lo, system_->control_bounds().hi);
+
+  // Phase 1 (expensive, Lipschitz-dependent): one-step image of every cell.
+  std::vector<IBox> images(cells);
+  try {
+    for (std::size_t i = 0; i < cells; ++i) {
+      const IBox cell = indexer.cell_box(i);
+      const ControlEnclosure u = abstraction.enclose(cell, u_bounds, budget);
+      images[i] = dynamics->step(cell, u.u_range);
+    }
+  } catch (const BudgetExhausted& e) {
+    result.completed = false;
+    result.failure = e.what();
+    result.seconds = timer.seconds();
+    result.nn_evaluations = budget.nn_evaluations;
+    result.partitions = budget.partitions;
+    COCKTAIL_WARN << "invariant-set computation failed for "
+                  << controller_.describe() << ": " << e.what();
+    return result;
+  }
+
+  // Phase 2 (cheap): fixed-point removal of cells whose image escapes the
+  // candidate union.
+  std::vector<int> lo_k, hi_k;
+  bool changed = true;
+  while (changed && result.iterations < config_.max_iterations) {
+    changed = false;
+    ++result.iterations;
+    for (std::size_t i = 0; i < cells; ++i) {
+      if (!result.member[i]) continue;
+      bool stays = indexer.overlap_range(images[i], lo_k, hi_k);
+      if (stays) {
+        // Every overlapped cell must still be a member.
+        std::vector<int> k = lo_k;
+        for (;;) {
+          std::size_t index = 0;
+          std::size_t stride = 1;
+          for (std::size_t d = 0; d < k.size(); ++d) {
+            index += static_cast<std::size_t>(k[d]) * stride;
+            stride *= static_cast<std::size_t>(result.grid[d]);
+          }
+          if (!result.member[index]) {
+            stays = false;
+            break;
+          }
+          // Advance the odometer over [lo_k, hi_k].
+          std::size_t d = 0;
+          while (d < k.size() && ++k[d] > hi_k[d]) {
+            k[d] = lo_k[d];
+            ++d;
+          }
+          if (d == k.size()) break;
+        }
+      }
+      if (!stays) {
+        result.member[i] = 0;
+        changed = true;
+      }
+    }
+  }
+
+  std::size_t surviving = 0;
+  for (char m : result.member) surviving += (m != 0);
+  result.volume_fraction =
+      static_cast<double>(surviving) / static_cast<double>(cells);
+  result.completed = true;
+  result.seconds = timer.seconds();
+  result.nn_evaluations = budget.nn_evaluations;
+  result.partitions = budget.partitions;
+  COCKTAIL_INFO << "invariant set for " << controller_.describe() << ": "
+                << surviving << "/" << cells << " cells in "
+                << result.iterations << " iterations, "
+                << result.seconds << " s";
+  return result;
+}
+
+}  // namespace cocktail::verify

@@ -1,0 +1,102 @@
+// Bernstein abstraction of a neural-network controller over a state box
+// (Section III-C with the ReachNN-style partitioning of [21]):
+//
+//   κ*(x) ∈ B^p_d(x) + [-ε̂_p, ε̂_p]   for x ∈ X_p,  p = 1..P,
+//
+// where the partition P and degrees d are chosen from the controller's
+// certified Lipschitz constant so that ε̂_p ≤ ε_target.  The per-box work
+// (NN samples = Π(d_i+1), partitions) grows quickly with the Lipschitz
+// constant, reproducing the paper's verifiability ordering; the
+// `VerificationBudget` models the resource exhaustion that crashed the
+// paper's κD run (Fig 4) as a clean, reportable failure.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+
+#include "control/nn_controller.h"
+#include "verify/bernstein.h"
+#include "verify/ibp.h"
+#include "verify/interval.h"
+
+namespace cocktail::verify {
+
+/// Work accounting shared by a whole verification run.
+struct VerificationBudget {
+  long max_nn_evaluations = 50'000'000;  ///< total NN forward passes.
+  long max_partitions = 2'000'000;       ///< total boxes abstracted.
+  long nn_evaluations = 0;
+  long partitions = 0;
+
+  [[nodiscard]] bool exhausted() const {
+    return nn_evaluations > max_nn_evaluations ||
+           partitions > max_partitions;
+  }
+};
+
+/// Thrown when the budget runs out (the analogue of the paper's
+/// memory-exhaustion failure for the high-Lipschitz student).
+class BudgetExhausted : public std::runtime_error {
+ public:
+  explicit BudgetExhausted(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Which enclosure engine abstracts the controller over a box.
+enum class AbstractionMethod {
+  kBernstein,            ///< Bernstein fit + Lipschitz error bound (ReachNN).
+  kIntervalPropagation,  ///< IBP through the network layers (Verisig-style).
+  kHybrid,               ///< both, intersected (tightest, costs the sum).
+};
+
+struct AbstractionConfig {
+  AbstractionMethod method = AbstractionMethod::kBernstein;
+  double epsilon_target = 0.5;  ///< ε on each control output.
+  int max_degree = 6;           ///< per-dimension Bernstein degree cap.
+  int max_partition_depth = 8;  ///< bisection depth cap per query box.
+};
+
+struct ControlEnclosure {
+  IBox u_range;          ///< per-output interval (already includes ±ε).
+  double epsilon = 0.0;  ///< achieved max approximation error bound.
+  int partitions = 0;    ///< boxes used for this query.
+  long nn_evaluations = 0;
+};
+
+/// Abstracts one controller over query boxes.  The controller must provide
+/// a non-negative certified Lipschitz bound (NN and polynomial controllers
+/// do; the mixed design does not — matching the paper's statement that AW
+/// "cannot be verified with current tools").
+class NnAbstraction {
+ public:
+  NnAbstraction(const ctrl::Controller& controller, AbstractionConfig config);
+
+  /// Interval enclosure of clip(κ(x), U) for x ∈ box.  `control_bounds`
+  /// applies the feasibility clip (pass an unbounded box to skip).
+  /// Accounts all work against `budget`; throws BudgetExhausted.
+  [[nodiscard]] ControlEnclosure enclose(const IBox& box,
+                                         const IBox& control_bounds,
+                                         VerificationBudget& budget) const;
+
+  [[nodiscard]] double lipschitz() const noexcept { return lipschitz_; }
+  [[nodiscard]] const AbstractionConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  void enclose_recursive(const IBox& box, int depth, ControlEnclosure& out,
+                         VerificationBudget& budget) const;
+  /// IBP enclosure of the controller output over the box (only available
+  /// for NnController subjects; the constructor falls back to Bernstein
+  /// otherwise).
+  [[nodiscard]] IBox ibp_output(const IBox& box) const;
+
+  const ctrl::Controller& controller_;
+  AbstractionConfig config_;
+  double lipschitz_;
+  /// Set when the controller is an NnController (enables IBP / hybrid).
+  const nn::Mlp* net_ = nullptr;
+  la::Vec out_scale_;
+};
+
+}  // namespace cocktail::verify

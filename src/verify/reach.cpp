@@ -1,0 +1,152 @@
+#include "verify/reach.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace cocktail::verify {
+
+std::vector<IBox> pave_boxes(const std::vector<IBox>& boxes,
+                             double resolution, std::size_t max_cells) {
+  if (boxes.empty()) return {};
+  const std::size_t dim = boxes.front().size();
+  IBox hull = boxes.front();
+  for (const IBox& box : boxes) hull = box_hull(hull, box);
+
+  // Grid shape: ~resolution-sized cells, coarsened uniformly if the total
+  // would exceed max_cells.
+  std::vector<std::size_t> cells(dim);
+  for (;;) {
+    std::size_t total = 1;
+    for (std::size_t d = 0; d < dim; ++d) {
+      cells[d] = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::ceil(hull[d].width() / resolution)));
+      total *= cells[d];
+    }
+    if (total <= max_cells) break;
+    resolution *= 1.5;
+  }
+
+  std::size_t total = 1;
+  for (std::size_t c : cells) total *= c;
+  std::vector<char> covered(total, 0);
+  std::vector<std::size_t> lo_idx(dim), hi_idx(dim), idx(dim);
+  for (const IBox& box : boxes) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      const double w = hull[d].width() / static_cast<double>(cells[d]);
+      const double offset_lo = w > 0.0 ? (box[d].lo() - hull[d].lo()) / w : 0.0;
+      const double offset_hi = w > 0.0 ? (box[d].hi() - hull[d].lo()) / w : 0.0;
+      lo_idx[d] = static_cast<std::size_t>(std::clamp(
+          std::floor(offset_lo), 0.0, static_cast<double>(cells[d] - 1)));
+      hi_idx[d] = static_cast<std::size_t>(std::clamp(
+          std::floor(offset_hi), 0.0, static_cast<double>(cells[d] - 1)));
+    }
+    idx = lo_idx;
+    for (;;) {
+      std::size_t flat = 0, stride = 1;
+      for (std::size_t d = 0; d < dim; ++d) {
+        flat += idx[d] * stride;
+        stride *= cells[d];
+      }
+      covered[flat] = 1;
+      std::size_t d = 0;
+      while (d < dim && ++idx[d] > hi_idx[d]) {
+        idx[d] = lo_idx[d];
+        ++d;
+      }
+      if (d == dim) break;
+    }
+  }
+
+  std::vector<IBox> out;
+  for (std::size_t flat = 0; flat < total; ++flat) {
+    if (!covered[flat]) continue;
+    IBox cell(dim);
+    std::size_t rem = flat;
+    for (std::size_t d = 0; d < dim; ++d) {
+      const std::size_t k = rem % cells[d];
+      rem /= cells[d];
+      const double w = hull[d].width() / static_cast<double>(cells[d]);
+      cell[d] = {hull[d].lo() + static_cast<double>(k) * w,
+                 hull[d].lo() + static_cast<double>(k + 1) * w};
+    }
+    out.push_back(std::move(cell));
+  }
+  return out;
+}
+
+ReachabilityAnalyzer::ReachabilityAnalyzer(sys::SystemPtr system,
+                                           const ctrl::Controller& controller,
+                                           ReachConfig config)
+    : system_(std::move(system)), controller_(controller),
+      config_(std::move(config)),
+      dynamics_(make_interval_dynamics(*system_)) {}
+
+bool ReachabilityAnalyzer::inside_safe_region(const IBox& box) const {
+  const sys::Box x = system_->safe_region();
+  for (std::size_t i = 0; i < box.size(); ++i) {
+    if (std::isfinite(x.lo[i]) && box[i].lo() < x.lo[i]) return false;
+    if (std::isfinite(x.hi[i]) && box[i].hi() > x.hi[i]) return false;
+  }
+  return true;
+}
+
+ReachResult ReachabilityAnalyzer::analyze(const IBox& initial) const {
+  util::Stopwatch timer;
+  ReachResult result;
+  result.layers.push_back({initial});
+  NnAbstraction abstraction(controller_, config_.abstraction);
+  VerificationBudget budget = config_.budget;
+  const IBox u_bounds =
+      make_box(system_->control_bounds().lo, system_->control_bounds().hi);
+
+  bool all_safe = inside_safe_region(initial);
+  try {
+    for (int t = 0; t < config_.steps; ++t) {
+      const auto& frontier = result.layers.back();
+      std::vector<IBox> next;
+      for (const IBox& box : frontier) {
+        // Subdivide against wrapping before abstracting the controller.
+        std::vector<int> parts(box.size(), 1);
+        for (std::size_t d = 0; d < box.size(); ++d)
+          parts[d] = std::max(
+              1, static_cast<int>(
+                     std::ceil(box[d].width() / config_.max_box_width)));
+        for (const IBox& sub : box_subdivide(box, parts)) {
+          const ControlEnclosure u =
+              abstraction.enclose(sub, u_bounds, budget);
+          next.push_back(dynamics_->step(sub, u.u_range));
+          if (next.size() > config_.max_boxes)
+            throw BudgetExhausted(
+                "reachable-set frontier exceeded max_boxes=" +
+                std::to_string(config_.max_boxes));
+        }
+      }
+      // Bound the frontier: re-pave onto a regular grid once it grows past
+      // the merge threshold (sound union cover).
+      if (config_.merge_threshold > 0 &&
+          next.size() > config_.merge_threshold)
+        next = pave_boxes(next, config_.max_box_width,
+                          config_.merge_threshold * 4);
+      for (const IBox& box : next)
+        if (!inside_safe_region(box)) all_safe = false;
+      result.layers.push_back(std::move(next));
+    }
+    result.completed = true;
+    result.safe = all_safe;
+  } catch (const BudgetExhausted& e) {
+    result.completed = false;
+    result.safe = false;
+    result.failure = e.what();
+    COCKTAIL_WARN << "reachability failed for " << controller_.describe()
+                  << ": " << e.what();
+  }
+  result.seconds = timer.seconds();
+  result.nn_evaluations = budget.nn_evaluations;
+  result.partitions = budget.partitions;
+  return result;
+}
+
+}  // namespace cocktail::verify

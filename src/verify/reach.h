@@ -1,0 +1,72 @@
+// Finite-horizon reachable-set computation (Definition 2 / Fig 4).
+//
+// The reachable set is propagated as a union of interval boxes: each box is
+// subdivided below a width threshold (fighting the wrapping effect), the
+// controller is abstracted per sub-box by NnAbstraction, and the image is
+// the interval-dynamics step.  All work is charged to a VerificationBudget;
+// exhaustion is reported as a failed (not crashed) verification — the
+// reproduction of the paper's κD memory fault in Fig 4.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "control/controller.h"
+#include "sys/system.h"
+#include "verify/interval_dynamics.h"
+#include "verify/nn_abstraction.h"
+
+namespace cocktail::verify {
+
+struct ReachConfig {
+  int steps = 15;                    ///< Fig 4 uses the first 15 steps.
+  AbstractionConfig abstraction;
+  double max_box_width = 0.05;       ///< subdivision threshold per dim.
+  std::size_t max_boxes = 20000;     ///< frontier cap per step.
+  /// When the frontier exceeds this count, it is re-paved onto a regular
+  /// grid (cells of ~max_box_width), which soundly merges overlapping
+  /// boxes and bounds the frontier size.  0 disables merging.
+  std::size_t merge_threshold = 1024;
+  VerificationBudget budget;
+};
+
+struct ReachResult {
+  /// layers[t] = boxes covering the states reachable in exactly t steps
+  /// (layers[0] is the initial box).
+  std::vector<std::vector<IBox>> layers;
+  bool completed = false;   ///< false when the budget was exhausted.
+  bool safe = false;        ///< all layers inside the safe region X.
+  std::string failure;      ///< reason when !completed.
+  double seconds = 0.0;     ///< wall-clock verification time (Property 3).
+  long nn_evaluations = 0;
+  long partitions = 0;
+};
+
+class ReachabilityAnalyzer {
+ public:
+  /// `controller` must outlive the analyzer.
+  ReachabilityAnalyzer(sys::SystemPtr system,
+                       const ctrl::Controller& controller, ReachConfig config);
+
+  /// Runs the analysis from `initial`.  Never throws on budget exhaustion —
+  /// the failure is recorded in the result (completed = false).
+  [[nodiscard]] ReachResult analyze(const IBox& initial) const;
+
+ private:
+  [[nodiscard]] bool inside_safe_region(const IBox& box) const;
+
+  sys::SystemPtr system_;
+  const ctrl::Controller& controller_;
+  ReachConfig config_;
+  std::unique_ptr<IntervalDynamics> dynamics_;
+};
+
+/// Sound frontier merge: covers `boxes` with the cells of a regular grid
+/// (cell edge ~`resolution`, grid capped at `max_cells` by coarsening) over
+/// their hull and returns the covering cells.  Every input box is contained
+/// in the union of the output cells.
+[[nodiscard]] std::vector<IBox> pave_boxes(const std::vector<IBox>& boxes,
+                                           double resolution,
+                                           std::size_t max_cells = 200000);
+
+}  // namespace cocktail::verify

@@ -1,0 +1,240 @@
+// Unit tests for src/attack: FGSM step, closed-loop attack model, uniform
+// noise, perturbation bounds, black-box finite-difference fallback.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attack/fgsm.h"
+#include "attack/perturbation.h"
+#include "attack/pgd.h"
+#include "control/lqr_controller.h"
+#include "control/mpc_controller.h"
+#include "control/nn_controller.h"
+#include "sys/cartpole.h"
+#include "sys/registry.h"
+#include "sys/threed.h"
+#include "sys/vanderpol.h"
+
+namespace cocktail {
+namespace {
+
+using la::Vec;
+
+TEST(FgsmDelta, SignTimesBound) {
+  const Vec delta = attack::fgsm_delta({0.5, -2.0, 0.0}, {0.1, 0.2, 0.3});
+  EXPECT_EQ(delta, (Vec{0.1, -0.2, 0.0}));
+}
+
+TEST(FgsmDelta, DimensionMismatchThrows) {
+  EXPECT_THROW(attack::fgsm_delta({1.0}, {0.1, 0.1}), std::invalid_argument);
+}
+
+TEST(PerturbationBound, FractionOfStateBound) {
+  const sys::VanDerPol vdp;
+  const Vec bound = attack::perturbation_bound(vdp, 0.1);
+  EXPECT_NEAR(bound[0], 0.2, 1e-12);  // 10% of half-width 2.
+  EXPECT_NEAR(bound[1], 0.2, 1e-12);
+}
+
+TEST(PerturbationBound, UnboundedDimensionsGetZeroForCartpole) {
+  // Cartpole's X bounds only position and angle; the velocity dimensions
+  // have no "state value bound" and must not be perturbed.
+  const sys::CartPole cp;
+  const Vec bound = attack::perturbation_bound(cp, 0.1);
+  ASSERT_EQ(bound.size(), 4u);
+  EXPECT_NEAR(bound[0], 0.24, 1e-12);    // 10% of 2.4.
+  EXPECT_DOUBLE_EQ(bound[1], 0.0);       // unbounded velocity.
+  EXPECT_NEAR(bound[2], 0.0209, 1e-12);  // 10% of 0.209.
+  EXPECT_DOUBLE_EQ(bound[3], 0.0);
+}
+
+TEST(UniformNoise, StaysWithinBounds) {
+  const attack::UniformNoise noise(Vec{0.1, 0.3});
+  const ctrl::ZeroController zero(2, 1);
+  util::Rng rng(1);
+  for (int k = 0; k < 500; ++k) {
+    const Vec d = noise.perturb({0.0, 0.0}, zero, rng);
+    EXPECT_LE(std::abs(d[0]), 0.1);
+    EXPECT_LE(std::abs(d[1]), 0.3);
+  }
+}
+
+TEST(UniformNoise, CoversTheRange) {
+  const attack::UniformNoise noise(Vec{1.0});
+  const ctrl::ZeroController zero(1, 1);
+  util::Rng rng(2);
+  double lo = 1.0, hi = -1.0;
+  for (int k = 0; k < 2000; ++k) {
+    const double d = noise.perturb({0.0}, zero, rng)[0];
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  EXPECT_LT(lo, -0.9);
+  EXPECT_GT(hi, 0.9);
+}
+
+TEST(NoPerturbation, ReturnsZeros) {
+  const attack::NoPerturbation none(3);
+  const ctrl::ZeroController zero(3, 1);
+  util::Rng rng(3);
+  EXPECT_EQ(none.perturb({1.0, 2.0, 3.0}, zero, rng), la::zeros(3));
+}
+
+TEST(FgsmAttack, RespectsBound) {
+  nn::Mlp net = nn::Mlp::make(2, {8}, 1, nn::Activation::kTanh,
+                              nn::Activation::kIdentity, 4);
+  const ctrl::NnController controller(std::move(net), {1.0}, "k");
+  const attack::FgsmAttack fgsm(Vec{0.2, 0.2});
+  util::Rng rng(4);
+  for (int k = 0; k < 100; ++k) {
+    const Vec d = fgsm.perturb({0.3, -0.3}, controller, rng);
+    EXPECT_LE(std::abs(d[0]), 0.2 + 1e-12);
+    EXPECT_LE(std::abs(d[1]), 0.2 + 1e-12);
+  }
+}
+
+TEST(FgsmAttack, DeviatesControlMoreThanRandomNoise) {
+  // Property: the optimized attack must shift the control output at least
+  // as much (on average) as random same-magnitude noise — otherwise it is
+  // not "optimized".
+  nn::Mlp net = nn::Mlp::make(2, {16, 16}, 1, nn::Activation::kTanh,
+                              nn::Activation::kIdentity, 5);
+  const ctrl::NnController controller(std::move(net), {1.0}, "k");
+  const Vec bound = {0.2, 0.2};
+  const attack::FgsmAttack fgsm(bound);
+  const attack::UniformNoise noise(bound);
+  util::Rng rng(5);
+  double fgsm_dev = 0.0, noise_dev = 0.0;
+  for (int k = 0; k < 200; ++k) {
+    const Vec s = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    const Vec u0 = controller.act(s);
+    const Vec d_f = fgsm.perturb(s, controller, rng);
+    const Vec d_n = noise.perturb(s, controller, rng);
+    fgsm_dev += la::norm_l2(la::sub(controller.act(la::add(s, d_f)), u0));
+    noise_dev += la::norm_l2(la::sub(controller.act(la::add(s, d_n)), u0));
+  }
+  EXPECT_GT(fgsm_dev, 1.3 * noise_dev);
+}
+
+TEST(FgsmAttack, GradientAndFiniteDifferenceAgreeOnSmoothController) {
+  // An LQR controller is linear, so the white-box gradient sign and the
+  // black-box finite-difference sign must produce the same perturbation.
+  const sys::VanDerPol vdp;
+  const auto lqr = ctrl::LqrController::synthesize(vdp, 1.0, 0.5);
+
+  // Black-box wrapper hiding the Jacobian.
+  class OpaqueController final : public ctrl::Controller {
+   public:
+    explicit OpaqueController(const ctrl::Controller& inner) : inner_(inner) {}
+    [[nodiscard]] Vec act(const Vec& s) const override { return inner_.act(s); }
+    [[nodiscard]] std::size_t state_dim() const override {
+      return inner_.state_dim();
+    }
+    [[nodiscard]] std::size_t control_dim() const override {
+      return inner_.control_dim();
+    }
+    [[nodiscard]] std::string describe() const override { return "opaque"; }
+
+   private:
+    const ctrl::Controller& inner_;
+  };
+  const OpaqueController opaque(lqr);
+
+  const Vec bound = {0.2, 0.2};
+  const attack::FgsmAttack fgsm(bound);
+  util::Rng rng_a(7), rng_b(7);
+  int agreements = 0;
+  const int trials = 50;
+  for (int k = 0; k < trials; ++k) {
+    const Vec s = {rng_a.uniform(-1.0, 1.0), rng_a.uniform(-1.0, 1.0)};
+    (void)rng_b.uniform(-1.0, 1.0);
+    (void)rng_b.uniform(-1.0, 1.0);
+    const Vec d_white = fgsm.perturb(s, lqr, rng_a);
+    const Vec d_black = fgsm.perturb(s, opaque, rng_b);
+    if (d_white == d_black) ++agreements;
+  }
+  EXPECT_GT(agreements, trials * 8 / 10);
+}
+
+TEST(PgdAttack, RespectsBound) {
+  nn::Mlp net = nn::Mlp::make(2, {8}, 1, nn::Activation::kTanh,
+                              nn::Activation::kIdentity, 14);
+  const ctrl::NnController controller(std::move(net), {1.0}, "k");
+  const attack::PgdAttack pgd(Vec{0.15, 0.25});
+  util::Rng rng(14);
+  for (int k = 0; k < 100; ++k) {
+    const Vec d = pgd.perturb({0.2, -0.2}, controller, rng);
+    EXPECT_LE(std::abs(d[0]), 0.15 + 1e-12);
+    EXPECT_LE(std::abs(d[1]), 0.25 + 1e-12);
+  }
+}
+
+TEST(PgdAttack, AtLeastAsStrongAsFgsm) {
+  // Property: the multi-step attack's mean control deviation dominates the
+  // single-step attack's on the same states (it refines the same
+  // objective).
+  nn::Mlp net = nn::Mlp::make(2, {16, 16}, 1, nn::Activation::kTanh,
+                              nn::Activation::kIdentity, 15);
+  const ctrl::NnController controller(std::move(net), {1.0}, "k");
+  const Vec bound = {0.2, 0.2};
+  const attack::FgsmAttack fgsm(bound);
+  attack::PgdConfig pgd_config;
+  pgd_config.steps = 8;
+  const attack::PgdAttack pgd(bound, pgd_config);
+  util::Rng rng(15);
+  double dev_fgsm = 0.0, dev_pgd = 0.0;
+  for (int k = 0; k < 200; ++k) {
+    const Vec s = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    const Vec u0 = controller.act(s);
+    const Vec df = fgsm.perturb(s, controller, rng);
+    const Vec dp = pgd.perturb(s, controller, rng);
+    dev_fgsm += la::norm_l2(la::sub(controller.act(la::add(s, df)), u0));
+    dev_pgd += la::norm_l2(la::sub(controller.act(la::add(s, dp)), u0));
+  }
+  EXPECT_GE(dev_pgd, 0.95 * dev_fgsm);  // allow sampling slack.
+}
+
+TEST(PgdAttack, WorksOnBlackBoxController) {
+  const sys::VanDerPol vdp;
+  const auto lqr = ctrl::LqrController::synthesize(vdp, 1.0, 0.5);
+  class Opaque final : public ctrl::Controller {
+   public:
+    explicit Opaque(const ctrl::Controller& inner) : inner_(inner) {}
+    [[nodiscard]] Vec act(const Vec& s) const override { return inner_.act(s); }
+    [[nodiscard]] std::size_t state_dim() const override { return 2; }
+    [[nodiscard]] std::size_t control_dim() const override { return 1; }
+    [[nodiscard]] std::string describe() const override { return "opaque"; }
+
+   private:
+    const ctrl::Controller& inner_;
+  } opaque(lqr);
+  const attack::PgdAttack pgd(Vec{0.1, 0.1});
+  util::Rng rng(16);
+  const Vec d = pgd.perturb({0.5, 0.5}, opaque, rng);
+  ASSERT_EQ(d.size(), 2u);
+  for (double v : d) EXPECT_LE(std::abs(v), 0.1 + 1e-12);
+}
+
+TEST(PgdAttack, RejectsBadConfig) {
+  attack::PgdConfig config;
+  config.steps = 0;
+  EXPECT_THROW(attack::PgdAttack(Vec{0.1}, config), std::invalid_argument);
+  EXPECT_THROW(attack::PgdAttack(Vec{-0.1}), std::invalid_argument);
+}
+
+TEST(FgsmAttack, WorksOnNonDifferentiableController) {
+  auto system = std::make_shared<sys::ThreeD>();
+  ctrl::MpcConfig config;
+  config.samples = 16;
+  config.iterations = 1;
+  config.planning_horizon = 4;
+  const ctrl::MpcController mpc(system, config);
+  const attack::FgsmAttack fgsm(Vec{0.05, 0.05, 0.05});
+  util::Rng rng(8);
+  const Vec d = fgsm.perturb({0.1, 0.1, 0.1}, mpc, rng);
+  ASSERT_EQ(d.size(), 3u);
+  for (double v : d) EXPECT_LE(std::abs(v), 0.05 + 1e-12);
+}
+
+}  // namespace
+}  // namespace cocktail

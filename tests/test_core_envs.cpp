@@ -1,0 +1,208 @@
+// Unit tests for the MDP environments of Section III-A: reward shape
+// (R_pun / h(||u||)), Eq.(4) weighted-sum-with-clip semantics, termination,
+// observation noise, and the expert-training task.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/polynomial_controller.h"
+#include "core/envs.h"
+#include "sys/threed.h"
+#include "sys/vanderpol.h"
+
+namespace cocktail {
+namespace {
+
+using la::Vec;
+
+ctrl::ControllerPtr constant_gain_expert(double gain) {
+  la::Matrix k(1, 2);
+  k(0, 0) = -gain;  // act = gain * s0.
+  return std::make_shared<ctrl::PolynomialController>(
+      ctrl::PolynomialController::linear_feedback(k, "gain"));
+}
+
+TEST(DefaultEnergyCoef, HalvesMaxEnergyReward) {
+  const sys::VanDerPol vdp;
+  // max ||u||_1 = 20, so coef = 1/40 and h(20) = 0.5.
+  EXPECT_NEAR(core::default_energy_coef(vdp), 1.0 / 40.0, 1e-12);
+}
+
+TEST(Observe, NoNoiseMeansIdentity) {
+  util::Rng rng(1);
+  EXPECT_EQ(core::observe({1.0, 2.0}, {}, rng), (Vec{1.0, 2.0}));
+}
+
+TEST(Observe, BoundedNoise) {
+  util::Rng rng(2);
+  for (int k = 0; k < 200; ++k) {
+    const Vec obs = core::observe({0.0, 0.0}, {0.1, 0.2}, rng);
+    EXPECT_LE(std::abs(obs[0]), 0.1);
+    EXPECT_LE(std::abs(obs[1]), 0.2);
+  }
+}
+
+TEST(MixingEnv, RewardIsHOfControlNorm) {
+  auto system = std::make_shared<sys::VanDerPol>();
+  // Two zero experts: u = 0 regardless of weights -> reward = h(0) = 1
+  // (margin shaping disabled for an exact check).
+  std::vector<ctrl::ControllerPtr> experts = {
+      std::make_shared<ctrl::ZeroController>(2, 1),
+      std::make_shared<ctrl::ZeroController>(2, 1)};
+  core::SafetyRewardConfig reward;
+  reward.boundary_margin = 0.0;
+  core::MixingEnv env(system, experts, 1.5, reward);
+  util::Rng rng(3);
+  (void)env.reset(rng);
+  const auto result = env.step({1.0, -1.0}, rng);
+  EXPECT_NEAR(result.reward, 1.0, 1e-12);
+  EXPECT_FALSE(result.terminal);
+}
+
+TEST(MixingEnv, BoundaryMarginShapesReward) {
+  auto system = std::make_shared<sys::VanDerPol>();
+  core::SafetyRewardConfig shaped;
+  shaped.boundary_margin = 0.2;
+  shaped.margin_penalty = 3.0;
+  // Deep interior state: no shaping; near-boundary state: penalized.
+  bool violated = false;
+  const double interior = core::safety_shaped_reward(
+      *system, {0.0, 0.0}, {0.0}, shaped, 0.0, violated);
+  EXPECT_FALSE(violated);
+  EXPECT_NEAR(interior, 1.0, 1e-12);
+  const double near_edge = core::safety_shaped_reward(
+      *system, {1.95, 0.0}, {0.0}, shaped, 0.0, violated);
+  EXPECT_FALSE(violated);
+  EXPECT_LT(near_edge, interior);
+  // Ramp is linear: at the very edge the full penalty applies.
+  const double at_edge = core::safety_shaped_reward(
+      *system, {2.0, 0.0}, {0.0}, shaped, 0.0, violated);
+  EXPECT_NEAR(at_edge, 1.0 - 3.0, 1e-9);
+  // Outside X: punishment, flagged violated.
+  const double outside = core::safety_shaped_reward(
+      *system, {2.1, 0.0}, {0.0}, shaped, 0.0, violated);
+  EXPECT_TRUE(violated);
+  EXPECT_NEAR(outside, shaped.unsafe_punishment, 1e-12);
+}
+
+TEST(MixingEnv, WeightedSumMatchesEquation4) {
+  auto system = std::make_shared<sys::VanDerPol>();
+  // Experts with known outputs: u1 = 2*s0, u2 = 4*s0.
+  std::vector<ctrl::ControllerPtr> experts = {constant_gain_expert(2.0),
+                                              constant_gain_expert(4.0)};
+  core::SafetyRewardConfig reward;
+  reward.boundary_margin = 0.0;
+  core::MixingEnv env(system, experts, 1.5, reward);
+  util::Rng rng(4);
+  // Deterministic start via reset loop until |s0| sizable (no noise).
+  Vec s = env.reset(rng);
+  const double a1 = 0.5, a2 = -0.25;
+  const auto result = env.step({a1, a2}, rng);
+  // u = clip(1.5*a1*2*s0 + 1.5*a2*4*s0) = clip(1.5*s0*(1.0 - 1.0)) = 0.
+  // With these weights the experts cancel: reward must be h(0) = 1 while
+  // the state stays safe.
+  if (!result.terminal) EXPECT_NEAR(result.reward, 1.0, 1e-12);
+  (void)s;
+}
+
+TEST(MixingEnv, PunishesAndTerminatesOnViolation) {
+  auto system = std::make_shared<sys::VanDerPol>();
+  std::vector<ctrl::ControllerPtr> experts = {
+      std::make_shared<ctrl::ZeroController>(2, 1)};
+  core::SafetyRewardConfig reward;
+  reward.unsafe_punishment = -77.0;
+  core::MixingEnv env(system, experts, 1.5, reward);
+  // Drive the env manually from a corner state: replay resets until the
+  // internal state is near the corner is impractical, so instead step the
+  // env many episodes and check that every terminal transition pays -77.
+  util::Rng rng(5);
+  int terminals = 0;
+  for (int episode = 0; episode < 200 && terminals < 3; ++episode) {
+    (void)env.reset(rng);
+    for (int t = 0; t < system->horizon(); ++t) {
+      const auto result = env.step({0.0}, rng);
+      if (result.terminal) {
+        EXPECT_DOUBLE_EQ(result.reward, -77.0);
+        ++terminals;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(terminals, 1);  // the uncontrolled oscillator does exit X.
+}
+
+TEST(MixingEnv, RejectsWeightBoundBelowOne) {
+  auto system = std::make_shared<sys::VanDerPol>();
+  std::vector<ctrl::ControllerPtr> experts = {
+      std::make_shared<ctrl::ZeroController>(2, 1)};
+  EXPECT_THROW(core::MixingEnv(system, experts, 0.9, {}),
+               std::invalid_argument);
+}
+
+TEST(SwitchingEnv, UsesExactlyOneExpert) {
+  auto system = std::make_shared<sys::VanDerPol>();
+  std::vector<ctrl::ControllerPtr> experts = {constant_gain_expert(0.0),
+                                              constant_gain_expert(3.0)};
+  core::SafetyRewardConfig reward;
+  reward.boundary_margin = 0.0;
+  core::SwitchingEnv env(system, experts, reward);
+  util::Rng rng(6);
+  (void)env.reset(rng);
+  // Expert 0 outputs zero control -> reward exactly h(0) = 1 when safe.
+  const auto result = env.step({0.0}, rng);
+  if (!result.terminal) EXPECT_NEAR(result.reward, 1.0, 1e-12);
+  // Out-of-range index must throw.
+  EXPECT_THROW((void)env.step({5.0}, rng), std::invalid_argument);
+}
+
+TEST(ExpertTrainingEnv, RewardDecreasesWithStateMagnitude) {
+  auto system = std::make_shared<sys::VanDerPol>();
+  core::ExpertTrainingEnv::Config config;
+  core::ExpertTrainingEnv env(system, config);
+  util::Rng rng(7);
+  (void)env.reset(rng);
+  // One zero-control step from wherever we are: reward = 1 - cost(state).
+  const auto result = env.step({0.0}, rng);
+  if (!result.terminal) EXPECT_LE(result.reward, 1.0);
+}
+
+TEST(ExpertTrainingEnv, ActionScaleLimitsAuthority) {
+  auto system = std::make_shared<sys::VanDerPol>();
+  core::ExpertTrainingEnv::Config narrow;
+  narrow.action_scale = 0.25;
+  core::ExpertTrainingEnv env(system, narrow);
+  util::Rng rng_a(8);
+  Vec s0 = env.reset(rng_a);
+  const auto result = env.step({1.0}, rng_a);  // full positive action.
+  // Compare against manually stepping with u = 0.25 * 20 = 5 and the same
+  // disturbance draw.  We can't extract ω, but the state change must be
+  // bounded by the dynamics under |u| <= 5 + drift; do a coarse check:
+  // the s2 jump cannot exceed tau*(|...| + 5) + 0.05 given |s| <= 2.
+  const double max_jump =
+      0.05 * ((1 + 4.0) * 2.0 + 2.0 + 5.0) + 0.05 + 1e-9;
+  EXPECT_LE(std::abs(result.next_state[1] - s0[1]), max_jump);
+}
+
+TEST(ExpertTrainingEnv, StateWeightArityChecked) {
+  auto system = std::make_shared<sys::VanDerPol>();
+  core::ExpertTrainingEnv::Config bad;
+  bad.state_weights = {1.0, 1.0, 1.0};  // system is 2-D.
+  EXPECT_THROW(core::ExpertTrainingEnv(system, bad), std::invalid_argument);
+}
+
+TEST(EnvDims, MatchSystemAndExperts) {
+  auto system = std::make_shared<sys::ThreeD>();
+  std::vector<ctrl::ControllerPtr> experts = {
+      std::make_shared<ctrl::ZeroController>(3, 1),
+      std::make_shared<ctrl::ZeroController>(3, 1),
+      std::make_shared<ctrl::ZeroController>(3, 1)};
+  core::MixingEnv mixing(system, experts, 1.5, {});
+  EXPECT_EQ(mixing.state_dim(), 3u);
+  EXPECT_EQ(mixing.action_dim(), 3u);
+  EXPECT_EQ(mixing.max_episode_steps(), 100);
+  core::SwitchingEnv switching(system, experts, {});
+  EXPECT_EQ(switching.action_dim(), 3u);
+}
+
+}  // namespace
+}  // namespace cocktail

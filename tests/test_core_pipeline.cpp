@@ -1,0 +1,124 @@
+// Tests for the pipeline configuration layer and the remaining core
+// surfaces: per-system defaults, expert specs, DDPG-mixing, and the
+// interplay between rollout metrics and the PGD attack.
+#include <gtest/gtest.h>
+
+#include "attack/pgd.h"
+#include "control/polynomial_controller.h"
+#include "core/expert_trainer.h"
+#include "core/metrics.h"
+#include "core/mixing.h"
+#include "core/pipeline.h"
+#include "sys/registry.h"
+
+namespace cocktail {
+namespace {
+
+TEST(PipelineConfig, DefaultsExistForAllPaperSystems) {
+  for (const auto& name : sys::system_names()) {
+    const auto config = core::default_pipeline_config(name);
+    EXPECT_GT(config.mixing.ppo.iterations, 0) << name;
+    EXPECT_GE(config.mixing.weight_bound, 1.0) << name;
+    EXPECT_GT(config.distill.epochs, 0) << name;
+    EXPECT_GT(config.distill.adversarial_prob, 0.0) << name;
+    EXPECT_GT(config.distill.lambda_l2, 0.0) << name;
+  }
+  EXPECT_THROW(core::default_pipeline_config("segway"), std::invalid_argument);
+}
+
+TEST(PipelineConfig, DirectDistillIsDerivedNotSeparate) {
+  const auto config = core::default_pipeline_config("vanderpol");
+  const auto direct = config.distill.direct();
+  EXPECT_EQ(direct.adversarial_prob, 0.0);
+  EXPECT_EQ(direct.lambda_l2, 0.0);
+  EXPECT_EQ(direct.student_hidden, config.distill.student_hidden);
+  EXPECT_EQ(direct.seed, config.distill.seed);  // same data, same init.
+}
+
+TEST(ExpertSpecs, PaperStructurePerSystem) {
+  // Two DDPG specs for oscillator/cartpole; one for the 3D system (its κ2
+  // is the model-based polynomial controller).
+  EXPECT_EQ(core::default_expert_specs("vanderpol", 1).size(), 2u);
+  EXPECT_EQ(core::default_expert_specs("threed", 1).size(), 1u);
+  EXPECT_EQ(core::default_expert_specs("cartpole", 1).size(), 2u);
+  EXPECT_THROW(core::default_expert_specs("segway", 1),
+                std::invalid_argument);
+}
+
+TEST(ExpertSpecs, HyperparametersDiffer) {
+  // The paper's experts are "obtained by DDPG with different
+  // hyper-parameters" — the specs must actually differ.
+  for (const auto& name : {"vanderpol", "cartpole"}) {
+    const auto specs = core::default_expert_specs(name, 7);
+    ASSERT_EQ(specs.size(), 2u);
+    const bool differ =
+        specs[0].ddpg.actor_hidden != specs[1].ddpg.actor_hidden ||
+        specs[0].env.action_scale != specs[1].env.action_scale ||
+        specs[0].env.control_weight != specs[1].env.control_weight;
+    EXPECT_TRUE(differ) << name;
+    EXPECT_NE(specs[0].ddpg.seed, specs[1].ddpg.seed) << name;
+  }
+}
+
+TEST(ThreeDPolynomialExpert, IsStabilizingWithSmallL) {
+  const auto system = sys::make_system("threed");
+  const auto expert = core::make_threed_polynomial_expert(*system);
+  // Small Lipschitz constant — the paper reports L = 0.72 for this expert.
+  EXPECT_GT(expert->lipschitz_bound(), 0.0);
+  EXPECT_LT(expert->lipschitz_bound(), 5.0);
+  // Stabilizes the nominal system from a central state.
+  la::Vec s = {0.2, -0.1, 0.1};
+  for (int t = 0; t < 200; ++t)
+    s = system->step(s, system->clip_control(expert->act(s)), {});
+  EXPECT_LT(la::norm_l2(s), 0.1);
+}
+
+TEST(DdpgMixing, ProducesBoundedMixedController) {
+  // Remark 1 path: tiny-budget DDPG mixing must return a usable AW.
+  auto system = sys::make_system("vanderpol");
+  la::Matrix k(1, 2);
+  k(0, 0) = 4.0;
+  k(0, 1) = 4.0;
+  std::vector<ctrl::ControllerPtr> experts = {
+      std::make_shared<ctrl::PolynomialController>(
+          ctrl::PolynomialController::linear_feedback(k, "stab")),
+      std::make_shared<ctrl::ZeroController>(2, 1)};
+  core::DdpgMixingConfig config;
+  config.ddpg.episodes = 30;
+  config.ddpg.warmup_steps = 300;
+  config.ddpg.actor_hidden = {16, 16};
+  config.ddpg.critic_hidden = {32, 32};
+  config.snapshot.checkpoints = 2;
+  config.snapshot.eval_states = 40;
+  const auto result =
+      core::train_adaptive_mixing_ddpg(system, experts, config);
+  ASSERT_NE(result.controller, nullptr);
+  util::Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const la::Vec s = system->initial_set().sample(rng);
+    EXPECT_LE(std::abs(result.controller->act(s)[0]), 20.0);
+    const la::Vec w = result.controller->weights(s);
+    for (double v : w) EXPECT_LE(std::abs(v), 1.5 + 1e-9);
+  }
+}
+
+TEST(EvaluateWithPgd, RunsEndToEnd) {
+  const auto system = sys::make_system("vanderpol");
+  la::Matrix k(1, 2);
+  k(0, 0) = 3.0;
+  k(0, 1) = 4.0;
+  const auto controller = std::make_shared<ctrl::PolynomialController>(
+      ctrl::PolynomialController::linear_feedback(k, "lin"));
+  core::EvalConfig config;
+  config.num_initial_states = 60;
+  config.seed = 5;
+  config.perturbation = std::make_shared<attack::PgdAttack>(
+      attack::perturbation_bound(*system, 0.12));
+  const auto result = core::evaluate(*system, *controller, config);
+  EXPECT_EQ(result.num_total, 60);
+  EXPECT_GE(result.safe_rate, 0.0);
+  EXPECT_LE(result.safe_rate, 1.0);
+}
+
+}  // namespace
+}  // namespace cocktail

@@ -1,0 +1,95 @@
+// Tests for the statistics module: Wilson intervals and paired evaluation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/lqr_controller.h"
+#include "control/polynomial_controller.h"
+#include "core/stats.h"
+#include "sys/vanderpol.h"
+
+namespace cocktail {
+namespace {
+
+TEST(WilsonInterval, KnownValues) {
+  // 50/100 at 95%: approximately [0.404, 0.596].
+  const auto ci = core::wilson_interval(50, 100);
+  EXPECT_NEAR(ci.lo, 0.404, 0.005);
+  EXPECT_NEAR(ci.hi, 0.596, 0.005);
+}
+
+TEST(WilsonInterval, DegeneratesGracefully) {
+  const auto empty = core::wilson_interval(0, 0);
+  EXPECT_DOUBLE_EQ(empty.lo, 0.0);
+  EXPECT_DOUBLE_EQ(empty.hi, 1.0);
+  // All successes: upper end pinned at 1, lower end below 1.
+  const auto all = core::wilson_interval(100, 100);
+  EXPECT_LT(all.lo, 1.0);
+  EXPECT_DOUBLE_EQ(all.hi, 1.0);
+  EXPECT_GT(all.lo, 0.9);
+}
+
+TEST(WilsonInterval, ContainsTrueRateProperty) {
+  // Property: across repeated binomial draws, the 95% interval covers the
+  // true rate much more often than not (loose check: >= 85% of draws).
+  util::Rng rng(7);
+  const double p = 0.83;
+  const int trials = 200, n = 150;
+  int covered = 0;
+  for (int t = 0; t < trials; ++t) {
+    int successes = 0;
+    for (int i = 0; i < n; ++i) successes += rng.bernoulli(p);
+    const auto ci = core::wilson_interval(successes, n);
+    covered += (ci.lo <= p && p <= ci.hi);
+  }
+  EXPECT_GE(covered, trials * 85 / 100);
+}
+
+TEST(WilsonInterval, ShrinksWithSampleSize) {
+  const auto small = core::wilson_interval(80, 100);
+  const auto large = core::wilson_interval(800, 1000);
+  EXPECT_LT(large.hi - large.lo, small.hi - small.lo);
+}
+
+TEST(EvaluatePaired, IdenticalControllersAgreeEverywhere) {
+  const sys::VanDerPol vdp;
+  const auto lqr = ctrl::LqrController::synthesize(vdp, 1.0, 0.5);
+  core::EvalConfig config;
+  config.num_initial_states = 60;
+  config.seed = 11;
+  const auto outcome = core::evaluate_paired(vdp, lqr, lqr, config);
+  EXPECT_EQ(outcome.only_a_safe, 0);
+  EXPECT_EQ(outcome.only_b_safe, 0);
+  EXPECT_EQ(outcome.total(), 60);
+  EXPECT_DOUBLE_EQ(outcome.safe_rate_difference(), 0.0);
+  EXPECT_DOUBLE_EQ(outcome.energy_a, outcome.energy_b);
+}
+
+TEST(EvaluatePaired, DetectsDominatingController) {
+  const sys::VanDerPol vdp;
+  const auto strong = ctrl::LqrController::synthesize(vdp, 1.0, 0.05);
+  const ctrl::ZeroController weak(2, 1);
+  core::EvalConfig config;
+  config.num_initial_states = 100;
+  config.seed = 12;
+  const auto outcome = core::evaluate_paired(vdp, strong, weak, config);
+  EXPECT_GT(outcome.safe_rate_difference(), 0.5);  // LQR >> uncontrolled.
+  EXPECT_GT(outcome.only_a_safe, outcome.only_b_safe);
+}
+
+TEST(EvaluatePaired, ConsistentWithUnpairedEvaluate) {
+  // The paired marginal for controller A must equal evaluate()'s count
+  // (identical seeds and streams by construction).
+  const sys::VanDerPol vdp;
+  const auto lqr = ctrl::LqrController::synthesize(vdp, 1.0, 0.5);
+  const ctrl::ZeroController zero(2, 1);
+  core::EvalConfig config;
+  config.num_initial_states = 80;
+  config.seed = 13;
+  const auto unpaired = core::evaluate(vdp, lqr, config);
+  const auto paired = core::evaluate_paired(vdp, lqr, zero, config);
+  EXPECT_EQ(paired.both_safe + paired.only_a_safe, unpaired.num_safe);
+}
+
+}  // namespace
+}  // namespace cocktail

@@ -1,0 +1,155 @@
+// Tests for the finite-size weighted adaptation baseline ([11]): simplex
+// weight tables, the FiniteWeightedController, its env, and the action-
+// space inclusion property behind Proposition 1.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/finite_weighted_controller.h"
+#include "control/polynomial_controller.h"
+#include "core/envs.h"
+#include "core/mixing.h"
+#include "sys/vanderpol.h"
+
+namespace cocktail {
+namespace {
+
+using la::Vec;
+
+ctrl::ControllerPtr gain_expert(double gain) {
+  la::Matrix k(1, 2);
+  k(0, 0) = -gain;
+  return std::make_shared<ctrl::PolynomialController>(
+      ctrl::PolynomialController::linear_feedback(k, "gain"));
+}
+
+TEST(SimplexTable, ResolutionOneIsVertices) {
+  const auto table = ctrl::simplex_weight_table(3, 1);
+  ASSERT_EQ(table.size(), 3u);  // the three one-hot vertices.
+  for (const auto& w : table) {
+    EXPECT_NEAR(la::norm_l1(w), 1.0, 1e-12);
+    EXPECT_EQ(*std::max_element(w.begin(), w.end()), 1.0);
+  }
+}
+
+TEST(SimplexTable, CountMatchesCombinatorics) {
+  // C(n+k-1, k): n=2, k=4 -> 5 entries; n=3, k=2 -> 6 entries.
+  EXPECT_EQ(ctrl::simplex_weight_table(2, 4).size(), 5u);
+  EXPECT_EQ(ctrl::simplex_weight_table(3, 2).size(), 6u);
+}
+
+TEST(SimplexTable, AllEntriesAreConvexCombinations) {
+  for (const auto& w : ctrl::simplex_weight_table(3, 4)) {
+    double sum = 0.0;
+    for (double v : w) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(FiniteWeightedControllerTest, AppliesSelectedWeights) {
+  auto e1 = gain_expert(2.0);  // act = 2*s0.
+  auto e2 = gain_expert(6.0);  // act = 6*s0.
+  const auto table = ctrl::simplex_weight_table(2, 2);  // (1,0),(.5,.5),(0,1).
+  nn::Mlp selector = nn::Mlp::make(2, {4}, table.size(),
+                                   nn::Activation::kTanh,
+                                   nn::Activation::kIdentity, 3);
+  const ctrl::FiniteWeightedController fw({e1, e2}, table, selector,
+                                          sys::Box::symmetric(1, 100.0));
+  const Vec s = {0.5, 0.0};
+  const std::size_t entry = fw.selected_entry(s);
+  const Vec& w = fw.weight_table()[entry];
+  const double expected = w[0] * e1->act(s)[0] + w[1] * e2->act(s)[0];
+  EXPECT_NEAR(fw.act(s)[0], expected, 1e-12);
+}
+
+TEST(FiniteWeightedControllerTest, OutputInsideExpertHull) {
+  // Property: a convex combination of expert outputs lies between the
+  // expert extremes — the defining restriction vs Cocktail's signed box.
+  auto e1 = gain_expert(1.0);
+  auto e2 = gain_expert(5.0);
+  const auto table = ctrl::simplex_weight_table(2, 4);
+  nn::Mlp selector = nn::Mlp::make(2, {6}, table.size(),
+                                   nn::Activation::kTanh,
+                                   nn::Activation::kIdentity, 4);
+  const ctrl::FiniteWeightedController fw({e1, e2}, table, std::move(selector),
+                                          sys::Box::symmetric(1, 100.0));
+  util::Rng rng(5);
+  for (int k = 0; k < 100; ++k) {
+    const Vec s = rng.normal_vec(2);
+    const double u = fw.act(s)[0];
+    const double lo = std::min(e1->act(s)[0], e2->act(s)[0]);
+    const double hi = std::max(e1->act(s)[0], e2->act(s)[0]);
+    EXPECT_GE(u, lo - 1e-9);
+    EXPECT_LE(u, hi + 1e-9);
+  }
+}
+
+TEST(FiniteWeightedControllerTest, RejectsBadTable) {
+  auto e1 = gain_expert(1.0);
+  nn::Mlp selector = nn::Mlp::make(2, {4}, 2, nn::Activation::kTanh,
+                                   nn::Activation::kIdentity, 6);
+  // Table arity (2 weights) != expert count (1).
+  EXPECT_THROW(ctrl::FiniteWeightedController(
+                   {e1}, {{0.5, 0.5}, {1.0, 0.0}}, selector,
+                   sys::Box::symmetric(1, 1.0)),
+               std::invalid_argument);
+}
+
+TEST(FiniteWeightedEnv, StepAppliesTableEntry) {
+  auto system = std::make_shared<sys::VanDerPol>();
+  std::vector<ctrl::ControllerPtr> experts = {
+      std::make_shared<ctrl::ZeroController>(2, 1),
+      std::make_shared<ctrl::ZeroController>(2, 1)};
+  const auto table = ctrl::simplex_weight_table(2, 2);
+  core::SafetyRewardConfig reward;
+  reward.boundary_margin = 0.0;
+  core::FiniteWeightedEnv env(system, experts, table, reward);
+  EXPECT_EQ(env.action_dim(), table.size());
+  util::Rng rng(7);
+  (void)env.reset(rng);
+  // Zero experts: u = 0 regardless of entry -> reward h(0) = 1 when safe.
+  const auto result = env.step({1.0}, rng);
+  if (!result.terminal) EXPECT_NEAR(result.reward, 1.0, 1e-12);
+  EXPECT_THROW((void)env.step({99.0}, rng), std::invalid_argument);
+}
+
+TEST(FiniteWeightedTrain, LearnsOnVanDerPol) {
+  auto system = std::make_shared<sys::VanDerPol>();
+  // Experts: a decent stabilizer (u = -4 s1 - 4 s2) and a useless zero
+  // controller — the baseline must learn to favour the stabilizer.
+  la::Matrix k(1, 2);
+  k(0, 0) = 4.0;
+  k(0, 1) = 4.0;
+  std::vector<ctrl::ControllerPtr> experts = {
+      std::make_shared<ctrl::PolynomialController>(
+          ctrl::PolynomialController::linear_feedback(k, "stab")),
+      std::make_shared<ctrl::ZeroController>(2, 1)};
+
+  core::FiniteWeightedConfig config;
+  config.resolution = 2;
+  config.ppo.iterations = 6;
+  config.ppo.steps_per_iteration = 600;
+  config.ppo.update_epochs = 4;
+  config.ppo.seed = 11;
+  const auto result = core::train_finite_weighted(system, experts, config);
+  ASSERT_NE(result.controller, nullptr);
+  // The learned selector must mostly choose entries with weight on the
+  // stabilizer in the interior of X.
+  util::Rng rng(12);
+  int stabilizer_weighted = 0;
+  const int trials = 100;
+  for (int t = 0; t < trials; ++t) {
+    const Vec s = system->initial_set().sample(rng);
+    const auto& w =
+        result.controller->weight_table()[result.controller->selected_entry(s)];
+    stabilizer_weighted += (w[0] > 0.0);
+  }
+  EXPECT_GT(stabilizer_weighted, trials / 2);
+}
+
+}  // namespace
+}  // namespace cocktail

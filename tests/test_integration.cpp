@@ -1,0 +1,164 @@
+// Integration test: a miniature end-to-end Cocktail pipeline on the Van der
+// Pol oscillator with reduced training budgets.  Verifies the pieces fit —
+// experts train, mixing/switching learn, students distill, metrics and
+// verification consume the artifacts — not the paper-scale numbers (the
+// benches do that).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/expert_trainer.h"
+#include "core/metrics.h"
+#include "core/mixing.h"
+#include "core/pipeline.h"
+#include "sys/registry.h"
+#include "verify/invariant.h"
+
+namespace cocktail {
+namespace {
+
+/// Shrinks every training budget so the test completes in seconds.
+core::PipelineConfig tiny_pipeline_config() {
+  core::PipelineConfig config = core::default_pipeline_config("vanderpol");
+  config.seed = 777;
+  config.use_cache = false;
+  config.mixing.ppo.iterations = 4;
+  config.mixing.ppo.steps_per_iteration = 400;
+  config.mixing.ppo.update_epochs = 3;
+  config.switching.ppo.iterations = 4;
+  config.switching.ppo.steps_per_iteration = 400;
+  config.switching.ppo.update_epochs = 3;
+  config.distill.teacher_rollouts = 4;
+  config.distill.uniform_samples = 500;
+  config.distill.epochs = 30;
+  config.distill.student_hidden = {16, 16};
+  return config;
+}
+
+class PipelineIntegration : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // Train tiny experts once for the whole suite.
+    system_ = sys::make_system("vanderpol");
+    auto specs = core::default_expert_specs("vanderpol", 777);
+    for (auto& spec : specs) {
+      spec.ddpg.episodes = 12;
+      spec.ddpg.warmup_steps = 200;
+      experts_.push_back(core::train_ddpg_expert(system_, spec));
+    }
+  }
+
+  static sys::SystemPtr system_;
+  static std::vector<ctrl::ControllerPtr> experts_;
+};
+
+sys::SystemPtr PipelineIntegration::system_;
+std::vector<ctrl::ControllerPtr> PipelineIntegration::experts_;
+
+TEST_F(PipelineIntegration, ExpertsAreUsableControllers) {
+  ASSERT_EQ(experts_.size(), 2u);
+  for (const auto& expert : experts_) {
+    EXPECT_EQ(expert->state_dim(), 2u);
+    EXPECT_EQ(expert->control_dim(), 1u);
+    EXPECT_GT(expert->lipschitz_bound(), 0.0);
+    // Output respects its action scaling (<= full control authority).
+    EXPECT_LE(std::abs(expert->act({1.0, 1.0})[0]), 20.0);
+  }
+}
+
+TEST_F(PipelineIntegration, MixingProducesBoundedWeights) {
+  auto config = tiny_pipeline_config();
+  const auto result =
+      core::train_adaptive_mixing(system_, experts_, config.mixing);
+  ASSERT_NE(result.controller, nullptr);
+  util::Rng rng(1);
+  for (int k = 0; k < 50; ++k) {
+    const la::Vec s = system_->initial_set().sample(rng);
+    const la::Vec weights = result.controller->weights(s);
+    ASSERT_EQ(weights.size(), 2u);
+    for (double w : weights)
+      EXPECT_LE(std::abs(w), config.mixing.weight_bound + 1e-9);
+    EXPECT_LE(std::abs(result.controller->act(s)[0]), 20.0);  // Eq.(4) clip.
+  }
+}
+
+TEST_F(PipelineIntegration, SwitchingSelectsRealExperts) {
+  auto config = tiny_pipeline_config();
+  const auto result =
+      core::train_switching(system_, experts_, config.switching);
+  util::Rng rng(2);
+  for (int k = 0; k < 20; ++k) {
+    const la::Vec s = system_->initial_set().sample(rng);
+    EXPECT_LT(result.controller->selected_expert(s), experts_.size());
+  }
+}
+
+TEST_F(PipelineIntegration, EndToEndPipelineArtifacts) {
+  auto config = tiny_pipeline_config();
+  const auto artifacts = core::run_pipeline(system_, config);
+  ASSERT_EQ(artifacts.experts.size(), 2u);
+  ASSERT_NE(artifacts.mixed, nullptr);
+  ASSERT_NE(artifacts.switching, nullptr);
+  ASSERT_NE(artifacts.direct_student, nullptr);
+  ASSERT_NE(artifacts.robust_student, nullptr);
+
+  // Students are verifiable (certified L), teacher is not — as in Table I.
+  EXPECT_GT(artifacts.robust_student->lipschitz_bound(), 0.0);
+  EXPECT_GT(artifacts.direct_student->lipschitz_bound(), 0.0);
+  EXPECT_LT(artifacts.mixed->lipschitz_bound(), 0.0);
+
+  // Table row helper covers all six columns.
+  const auto rows = artifacts.table_row_controllers();
+  ASSERT_EQ(rows.size(), 6u);
+  EXPECT_EQ(rows[0].first, "k1");
+  EXPECT_EQ(rows[5].first, "k*");
+
+  // Metrics run end to end on every artifact.
+  core::EvalConfig eval;
+  eval.num_initial_states = 30;
+  eval.seed = 5;
+  for (const auto& [label, controller] : rows) {
+    const auto result = core::evaluate(*system_, *controller, eval);
+    EXPECT_EQ(result.num_total, 30) << label;
+    EXPECT_GE(result.safe_rate, 0.0);
+    EXPECT_LE(result.safe_rate, 1.0);
+  }
+}
+
+TEST_F(PipelineIntegration, PipelineCachingRoundTrips) {
+  const std::string cache_dir = "test_cache_integration";
+  setenv("COCKTAIL_MODEL_DIR", cache_dir.c_str(), 1);
+  auto config = tiny_pipeline_config();
+  config.use_cache = true;
+  config.seed = 778;
+  const auto first = core::run_pipeline(system_, config);
+  const auto second = core::run_pipeline(system_, config);  // from cache.
+  // Cached reload must reproduce identical student behaviour.
+  const la::Vec probe = {0.4, -0.3};
+  EXPECT_DOUBLE_EQ(first.robust_student->act(probe)[0],
+                   second.robust_student->act(probe)[0]);
+  EXPECT_DOUBLE_EQ(first.mixed->act(probe)[0], second.mixed->act(probe)[0]);
+  unsetenv("COCKTAIL_MODEL_DIR");
+  std::filesystem::remove_all(cache_dir);
+}
+
+TEST_F(PipelineIntegration, StudentsFeedVerification) {
+  auto config = tiny_pipeline_config();
+  config.seed = 779;
+  const auto distilled = core::distill(
+      *system_, *experts_[0], config.distill, "verify-subject");
+  verify::InvariantConfig inv_config;
+  inv_config.grid = {16, 16};
+  inv_config.abstraction.epsilon_target = 1.5;
+  inv_config.abstraction.max_degree = 4;
+  const verify::InvariantSetComputer computer(system_, *distilled.student,
+                                              inv_config);
+  const auto result = computer.compute();
+  // Whatever the volume, the computation must complete within budget for a
+  // robust-distilled small student.
+  EXPECT_TRUE(result.completed) << result.failure;
+}
+
+}  // namespace
+}  // namespace cocktail

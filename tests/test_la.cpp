@@ -1,0 +1,214 @@
+// Unit + property tests for src/la: vector ops, Matrix, solvers, DARE.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/matrix.h"
+#include "la/solve.h"
+#include "la/vec.h"
+#include "util/rng.h"
+
+namespace cocktail {
+namespace {
+
+using la::Matrix;
+using la::Vec;
+
+TEST(Vec, AddSubScale) {
+  const Vec a = {1.0, 2.0};
+  const Vec b = {3.0, -1.0};
+  EXPECT_EQ(la::add(a, b), (Vec{4.0, 1.0}));
+  EXPECT_EQ(la::sub(a, b), (Vec{-2.0, 3.0}));
+  EXPECT_EQ(la::scale(a, 2.0), (Vec{2.0, 4.0}));
+}
+
+TEST(Vec, DimensionMismatchThrows) {
+  EXPECT_THROW(la::add({1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(la::dot({1.0}, {}), std::invalid_argument);
+}
+
+TEST(Vec, Norms) {
+  const Vec v = {3.0, -4.0};
+  EXPECT_DOUBLE_EQ(la::norm_l1(v), 7.0);
+  EXPECT_DOUBLE_EQ(la::norm_l2(v), 5.0);
+  EXPECT_DOUBLE_EQ(la::norm_linf(v), 4.0);
+}
+
+TEST(Vec, ClipScalarAndVector) {
+  const Vec v = {-5.0, 0.5, 5.0};
+  EXPECT_EQ(la::clip(v, -1.0, 1.0), (Vec{-1.0, 0.5, 1.0}));
+  const Vec lo = {-2.0, 0.0, 0.0};
+  const Vec hi = {0.0, 0.25, 10.0};
+  EXPECT_EQ(la::clip(v, lo, hi), (Vec{-2.0, 0.25, 5.0}));
+}
+
+TEST(Vec, SignAndHadamard) {
+  EXPECT_EQ(la::sign({-2.0, 0.0, 3.0}), (Vec{-1.0, 0.0, 1.0}));
+  EXPECT_EQ(la::hadamard({2.0, 3.0}, {4.0, -1.0}), (Vec{8.0, -3.0}));
+}
+
+TEST(Vec, ConcatAndConstant) {
+  EXPECT_EQ(la::concat({1.0}, {2.0, 3.0}), (Vec{1.0, 2.0, 3.0}));
+  EXPECT_EQ(la::constant(3, 2.0), (Vec{2.0, 2.0, 2.0}));
+  EXPECT_EQ(la::zeros(2), (Vec{0.0, 0.0}));
+}
+
+TEST(Vec, AllFinite) {
+  EXPECT_TRUE(la::all_finite({1.0, -2.0}));
+  EXPECT_FALSE(la::all_finite({1.0, std::nan("")}));
+  EXPECT_FALSE(la::all_finite({INFINITY}));
+}
+
+TEST(Vec, Axpy) {
+  Vec a = {1.0, 1.0};
+  la::axpy(a, 2.0, {1.0, -1.0});
+  EXPECT_EQ(a, (Vec{3.0, -1.0}));
+}
+
+TEST(MatrixTest, MatvecKnown) {
+  Matrix m(2, 3, Vec{1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(m.matvec({1.0, 0.0, -1.0}), (Vec{-2.0, -2.0}));
+}
+
+TEST(MatrixTest, MatvecTransposeMatchesTranspose) {
+  util::Rng rng(3);
+  Matrix m(4, 3, rng.normal_vec(12));
+  const Vec x = rng.normal_vec(4);
+  const Vec direct = m.matvec_transpose(x);
+  const Vec viaT = m.transpose().matvec(x);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(direct[i], viaT[i], 1e-12);
+}
+
+TEST(MatrixTest, MatmulIdentity) {
+  util::Rng rng(5);
+  Matrix m(3, 3, rng.normal_vec(9));
+  const Matrix mi = m.matmul(Matrix::identity(3));
+  for (std::size_t i = 0; i < 9; ++i)
+    EXPECT_DOUBLE_EQ(mi.data()[i], m.data()[i]);
+}
+
+TEST(MatrixTest, MatmulAssociativityOnVector) {
+  util::Rng rng(7);
+  Matrix a(3, 4, rng.normal_vec(12));
+  Matrix b(4, 2, rng.normal_vec(8));
+  const Vec x = rng.normal_vec(2);
+  const Vec lhs = a.matmul(b).matvec(x);
+  const Vec rhs = a.matvec(b.matvec(x));
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(lhs[i], rhs[i], 1e-12);
+}
+
+TEST(MatrixTest, AddOuterMatchesManual) {
+  Matrix m(2, 2);
+  m.add_outer(2.0, {1.0, 3.0}, {4.0, 5.0});
+  EXPECT_DOUBLE_EQ(m(0, 0), 8.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 24.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 30.0);
+}
+
+TEST(MatrixTest, SpectralNormDiagonal) {
+  const Matrix m = Matrix::diagonal({1.0, -3.0, 2.0});
+  EXPECT_NEAR(m.spectral_norm(), 3.0, 1e-9);
+}
+
+TEST(MatrixTest, SpectralNormRotationIsOne) {
+  const double c = std::cos(0.7), s = std::sin(0.7);
+  Matrix rot(2, 2, Vec{c, -s, s, c});
+  EXPECT_NEAR(rot.spectral_norm(), 1.0, 1e-9);
+}
+
+TEST(MatrixTest, SpectralNormDominatesOperatorAction) {
+  // Property: ||Mx|| <= sigma * ||x|| for any x.
+  util::Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    Matrix m(3, 5, rng.normal_vec(15));
+    const double sigma = m.spectral_norm();
+    for (int k = 0; k < 10; ++k) {
+      const Vec x = rng.normal_vec(5);
+      EXPECT_LE(la::norm_l2(m.matvec(x)), sigma * la::norm_l2(x) + 1e-9);
+    }
+  }
+}
+
+TEST(MatrixTest, InfNorm) {
+  Matrix m(2, 2, Vec{1.0, -2.0, 0.5, 0.25});
+  EXPECT_DOUBLE_EQ(m.inf_norm(), 3.0);
+}
+
+TEST(MatrixTest, SumSquaresAndFrobenius) {
+  Matrix m(1, 2, Vec{3.0, 4.0});
+  EXPECT_DOUBLE_EQ(m.sum_squares(), 25.0);
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+}
+
+TEST(Solve, KnownSystem) {
+  Matrix a(2, 2, Vec{2.0, 1.0, 1.0, 3.0});
+  const Vec x = la::solve(a, Vec{5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Solve, SingularThrows) {
+  Matrix a(2, 2, Vec{1.0, 2.0, 2.0, 4.0});
+  EXPECT_THROW(la::solve(a, Vec{1.0, 1.0}), std::runtime_error);
+}
+
+class SolveRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolveRandom, ResidualIsTiny) {
+  util::Rng rng(100 + GetParam());
+  const std::size_t n = 2 + GetParam() % 5;
+  Matrix a(n, n, rng.normal_vec(n * n));
+  // Diagonal dominance keeps the random systems well-conditioned.
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 5.0;
+  const Vec b = rng.normal_vec(n);
+  const Vec x = la::solve(a, b);
+  const Vec r = la::sub(a.matvec(x), b);
+  EXPECT_LT(la::norm_l2(r), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolveRandom, ::testing::Range(0, 12));
+
+TEST(Solve, InverseRoundTrip) {
+  util::Rng rng(17);
+  Matrix a(3, 3, rng.normal_vec(9));
+  for (std::size_t i = 0; i < 3; ++i) a(i, i) += 4.0;
+  const Matrix prod = a.matmul(la::inverse(a));
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-10);
+}
+
+TEST(Dare, DoubleIntegratorStabilizes) {
+  // s = (pos, vel); A: integrator, B acts on velocity.
+  const double tau = 0.1;
+  Matrix a = Matrix::identity(2);
+  a(0, 1) = tau;
+  Matrix b(2, 1);
+  b(1, 0) = tau;
+  const auto result =
+      la::solve_dare(a, b, Matrix::identity(2), Matrix::identity(1) * 0.1);
+  // Closed-loop A - BK must contract: simulate and require decay.
+  const Matrix a_cl = a - b.matmul(result.k);
+  Vec s = {1.0, 1.0};
+  for (int t = 0; t < 200; ++t) s = a_cl.matvec(s);
+  EXPECT_LT(la::norm_l2(s), 1e-3);
+}
+
+TEST(Dare, RiccatiFixedPointHolds) {
+  const double tau = 0.1;
+  Matrix a = Matrix::identity(2);
+  a(0, 1) = tau;
+  Matrix b(2, 1);
+  b(1, 0) = tau;
+  const Matrix q = Matrix::identity(2);
+  const Matrix r = Matrix::identity(1) * 0.5;
+  const auto res = la::solve_dare(a, b, q, r);
+  // Check P = A'P(A - BK) + Q at the fixed point.
+  const Matrix rhs = a.transpose().matmul(
+                         res.p.matmul(a - b.matmul(res.k))) + q;
+  EXPECT_LT((rhs - res.p).frobenius_norm(), 1e-8);
+}
+
+}  // namespace
+}  // namespace cocktail

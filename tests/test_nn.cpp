@@ -1,0 +1,305 @@
+// Unit + property tests for src/nn: backprop correctness (finite-difference
+// checks over all activations), optimizers, losses, Lipschitz soundness,
+// serialization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "nn/activation.h"
+#include "nn/loss.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+#include "util/rng.h"
+
+namespace cocktail {
+namespace {
+
+using la::Vec;
+using nn::Activation;
+using nn::Mlp;
+
+TEST(Activation, Values) {
+  EXPECT_DOUBLE_EQ(nn::activate(Activation::kIdentity, -1.5), -1.5);
+  EXPECT_DOUBLE_EQ(nn::activate(Activation::kRelu, -1.5), 0.0);
+  EXPECT_DOUBLE_EQ(nn::activate(Activation::kRelu, 2.0), 2.0);
+  EXPECT_NEAR(nn::activate(Activation::kTanh, 0.5), std::tanh(0.5), 1e-15);
+  EXPECT_NEAR(nn::activate(Activation::kSigmoid, 0.0), 0.5, 1e-15);
+}
+
+TEST(Activation, DerivativesMatchFiniteDifference) {
+  const double h = 1e-6;
+  for (const auto act : {Activation::kIdentity, Activation::kRelu,
+                         Activation::kTanh, Activation::kSigmoid}) {
+    for (const double z : {-1.3, 0.4, 2.1}) {
+      const double a = nn::activate(act, z);
+      const double numeric =
+          (nn::activate(act, z + h) - nn::activate(act, z - h)) / (2.0 * h);
+      EXPECT_NEAR(nn::activate_grad(act, z, a), numeric, 1e-5)
+          << nn::to_string(act) << " at " << z;
+    }
+  }
+}
+
+TEST(Activation, StringRoundTrip) {
+  for (const auto act : {Activation::kIdentity, Activation::kRelu,
+                         Activation::kTanh, Activation::kSigmoid})
+    EXPECT_EQ(nn::activation_from_string(nn::to_string(act)), act);
+  EXPECT_THROW(nn::activation_from_string("swish"), std::invalid_argument);
+}
+
+TEST(MlpTest, ShapesAndParameterCount) {
+  const Mlp net = Mlp::make(3, {5, 4}, 2, Activation::kTanh,
+                            Activation::kIdentity, 1);
+  EXPECT_EQ(net.input_dim(), 3u);
+  EXPECT_EQ(net.output_dim(), 2u);
+  EXPECT_EQ(net.num_layers(), 3u);
+  // (3*5+5) + (5*4+4) + (4*2+2) = 20 + 24 + 10.
+  EXPECT_EQ(net.num_parameters(), 54u);
+  EXPECT_EQ(net.forward({1.0, 2.0, 3.0}).size(), 2u);
+}
+
+TEST(MlpTest, ForwardMatchesManualSingleLayer) {
+  util::Rng rng(2);
+  std::vector<std::size_t> widths = {2, 1};
+  std::vector<Activation> acts = {Activation::kIdentity};
+  Mlp net(widths, acts, rng);
+  auto& layer = net.layers()[0];
+  layer.w(0, 0) = 2.0;
+  layer.w(0, 1) = -1.0;
+  layer.b[0] = 0.5;
+  EXPECT_DOUBLE_EQ(net.forward({3.0, 4.0})[0], 2.5);
+}
+
+/// Finite-difference check of parameter and input gradients for one
+/// architecture/activation combination.
+void check_gradients(Activation hidden, Activation output,
+                     std::uint64_t seed) {
+  Mlp net = Mlp::make(3, {4, 4}, 2, hidden, output, seed);
+  util::Rng rng(seed + 99);
+  const Vec x = rng.normal_vec(3);
+  const Vec target = rng.normal_vec(2);
+
+  Mlp::Workspace ws;
+  const Vec y = net.forward(x, ws);
+  nn::Gradients grads = net.zero_gradients();
+  const Vec dx = net.backward(ws, nn::mse_gradient(y, target), grads);
+
+  const double h = 1e-6;
+  // Input gradient check.
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    Vec xp = x, xm = x;
+    xp[i] += h;
+    xm[i] -= h;
+    const double numeric = (nn::mse(net.forward(xp), target) -
+                            nn::mse(net.forward(xm), target)) /
+                           (2.0 * h);
+    EXPECT_NEAR(dx[i], numeric, 1e-4) << "input grad dim " << i;
+  }
+  // Spot-check parameter gradients (first/last layer, several entries).
+  for (const std::size_t layer_idx : {std::size_t{0}, net.num_layers() - 1}) {
+    auto& layer = net.layers()[layer_idx];
+    for (std::size_t k = 0; k < std::min<std::size_t>(layer.w.size(), 6);
+         ++k) {
+      const double saved = layer.w.data()[k];
+      layer.w.data()[k] = saved + h;
+      const double up = nn::mse(net.forward(x), target);
+      layer.w.data()[k] = saved - h;
+      const double dn = nn::mse(net.forward(x), target);
+      layer.w.data()[k] = saved;
+      EXPECT_NEAR(grads.w[layer_idx].data()[k], (up - dn) / (2.0 * h), 1e-4)
+          << "w grad layer " << layer_idx << " entry " << k;
+    }
+    const double saved_b = layer.b[0];
+    layer.b[0] = saved_b + h;
+    const double up = nn::mse(net.forward(x), target);
+    layer.b[0] = saved_b - h;
+    const double dn = nn::mse(net.forward(x), target);
+    layer.b[0] = saved_b;
+    EXPECT_NEAR(grads.b[layer_idx][0], (up - dn) / (2.0 * h), 1e-4);
+  }
+}
+
+class MlpGradient
+    : public ::testing::TestWithParam<std::tuple<Activation, Activation>> {};
+
+TEST_P(MlpGradient, MatchesFiniteDifference) {
+  const auto [hidden, output] = GetParam();
+  check_gradients(hidden, output, 7);
+  check_gradients(hidden, output, 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Activations, MlpGradient,
+    ::testing::Combine(::testing::Values(Activation::kRelu, Activation::kTanh,
+                                         Activation::kSigmoid),
+                       ::testing::Values(Activation::kIdentity,
+                                         Activation::kTanh)));
+
+TEST(MlpTest, InputGradientMatchesBackward) {
+  Mlp net = Mlp::make(2, {8}, 1, Activation::kTanh, Activation::kIdentity, 3);
+  const Vec x = {0.3, -0.7};
+  const Vec dy = {1.0};
+  Mlp::Workspace ws;
+  net.forward(x, ws);
+  nn::Gradients grads = net.zero_gradients();
+  const Vec via_backward = net.backward(ws, dy, grads);
+  const Vec via_input = net.input_gradient(x, dy);
+  for (std::size_t i = 0; i < 2; ++i)
+    EXPECT_NEAR(via_backward[i], via_input[i], 1e-14);
+}
+
+TEST(MlpTest, JacobianMatchesFiniteDifference) {
+  Mlp net = Mlp::make(3, {6, 6}, 2, Activation::kTanh, Activation::kTanh, 5);
+  const Vec x = {0.2, -0.1, 0.4};
+  const la::Matrix jac = net.input_jacobian(x);
+  const double h = 1e-6;
+  for (std::size_t c = 0; c < 3; ++c) {
+    Vec xp = x, xm = x;
+    xp[c] += h;
+    xm[c] -= h;
+    const Vec yp = net.forward(xp);
+    const Vec ym = net.forward(xm);
+    for (std::size_t r = 0; r < 2; ++r)
+      EXPECT_NEAR(jac(r, c), (yp[r] - ym[r]) / (2.0 * h), 1e-5);
+  }
+}
+
+TEST(MlpTest, L2GradientIsTwoLambdaQ) {
+  Mlp net = Mlp::make(2, {3}, 1, Activation::kRelu, Activation::kIdentity, 9);
+  nn::Gradients grads = net.zero_gradients();
+  net.accumulate_l2_gradient(0.5, grads);
+  EXPECT_NEAR(grads.w[0].data()[0], net.layers()[0].w.data()[0], 1e-15);
+}
+
+TEST(MlpTest, LipschitzBoundIsSound) {
+  // Property: certified bound >= empirical slope, over several nets.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Mlp net = Mlp::make(2, {16, 16}, 1, Activation::kTanh,
+                              Activation::kIdentity, seed);
+    util::Rng rng(seed);
+    const double certified = net.lipschitz_upper_bound();
+    const double sampled =
+        net.lipschitz_sampled({-1.0, -1.0}, {1.0, 1.0}, 2000, rng);
+    EXPECT_GE(certified, sampled) << "seed " << seed;
+    EXPECT_GT(sampled, 0.0);
+  }
+}
+
+TEST(MlpTest, LipschitzSigmoidQuartersBound) {
+  Mlp relu = Mlp::make(2, {4}, 1, Activation::kRelu, Activation::kIdentity, 4);
+  Mlp sigm = relu;
+  sigm.layers()[0].act = Activation::kSigmoid;
+  EXPECT_NEAR(sigm.lipschitz_upper_bound(),
+              0.25 * relu.lipschitz_upper_bound(), 1e-12);
+}
+
+TEST(MlpTest, SerializationRoundTrip) {
+  const Mlp net = Mlp::make(3, {7, 5}, 2, Activation::kRelu,
+                            Activation::kTanh, 11);
+  std::stringstream buffer;
+  net.save(buffer);
+  const Mlp loaded = Mlp::load(buffer);
+  util::Rng rng(1);
+  for (int k = 0; k < 10; ++k) {
+    const Vec x = rng.normal_vec(3);
+    const Vec a = net.forward(x);
+    const Vec b = loaded.forward(x);
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+  }
+}
+
+TEST(MlpTest, LoadRejectsBadHeader) {
+  std::stringstream buffer("not-a-model v9\n");
+  EXPECT_THROW(Mlp::load(buffer), std::runtime_error);
+}
+
+TEST(Optimizer, AdamMinimizesQuadratic) {
+  // Fit y = net(x) to y* = 3x - 1 on fixed points; Adam must reach tiny loss.
+  Mlp net = Mlp::make(1, {8}, 1, Activation::kTanh, Activation::kIdentity, 13);
+  nn::Adam opt(0.02);
+  util::Rng rng(13);
+  double final_loss = 1e9;
+  for (int epoch = 0; epoch < 400; ++epoch) {
+    nn::Gradients grads = net.zero_gradients();
+    double loss = 0.0;
+    for (int k = 0; k < 16; ++k) {
+      const double x = -1.0 + 2.0 * k / 15.0;
+      const Vec target = {3.0 * x - 1.0};
+      Mlp::Workspace ws;
+      const Vec y = net.forward({x}, ws);
+      loss += nn::mse(y, target);
+      Vec dl = nn::mse_gradient(y, target);
+      for (auto& g : dl) g /= 16.0;
+      net.backward(ws, dl, grads);
+    }
+    final_loss = loss / 16.0;
+    opt.step(net, grads);
+  }
+  // Targets span [-4, 2]; 5e-3 MSE is ~1% relative error.
+  EXPECT_LT(final_loss, 5e-3);
+}
+
+TEST(Optimizer, SgdMomentumMovesDownhill) {
+  Mlp net = Mlp::make(1, {4}, 1, Activation::kTanh, Activation::kIdentity, 17);
+  nn::Sgd opt(0.05, 0.9);
+  const Vec target = {2.0};
+  double first_loss = 0.0, last_loss = 0.0;
+  for (int step = 0; step < 200; ++step) {
+    Mlp::Workspace ws;
+    const Vec y = net.forward({0.5}, ws);
+    const double loss = nn::mse(y, target);
+    if (step == 0) first_loss = loss;
+    last_loss = loss;
+    nn::Gradients grads = net.zero_gradients();
+    net.backward(ws, nn::mse_gradient(y, target), grads);
+    opt.step(net, grads);
+  }
+  EXPECT_LT(last_loss, 0.1 * first_loss);
+}
+
+TEST(Optimizer, AdamVecConverges) {
+  la::Vec params = {5.0, -3.0};
+  nn::AdamVec opt(0.1);
+  for (int step = 0; step < 500; ++step) {
+    // d/dp of 0.5*||p - (1,2)||^2.
+    const la::Vec grads = {params[0] - 1.0, params[1] - 2.0};
+    opt.step(params, grads);
+  }
+  EXPECT_NEAR(params[0], 1.0, 1e-3);
+  EXPECT_NEAR(params[1], 2.0, 1e-3);
+}
+
+TEST(Gradients, ClipNormScalesDown) {
+  Mlp net = Mlp::make(2, {4}, 1, Activation::kRelu, Activation::kIdentity, 19);
+  nn::Gradients grads = net.zero_gradients();
+  grads.w[0].fill(10.0);
+  const double before = grads.l2_norm();
+  ASSERT_GT(before, 1.0);
+  grads.clip_norm(1.0);
+  EXPECT_NEAR(grads.l2_norm(), 1.0, 1e-12);
+}
+
+TEST(Loss, MseAndGradient) {
+  EXPECT_DOUBLE_EQ(nn::mse({1.0, 3.0}, {0.0, 1.0}), 2.5);
+  const Vec g = nn::mse_gradient({1.0, 3.0}, {0.0, 1.0});
+  EXPECT_DOUBLE_EQ(g[0], 1.0);
+  EXPECT_DOUBLE_EQ(g[1], 2.0);
+}
+
+TEST(Loss, HuberMatchesMseInQuadraticRegion) {
+  EXPECT_NEAR(nn::huber({0.5}, {0.0}, 1.0), 0.5 * 0.25, 1e-15);
+  // Linear region grows linearly.
+  EXPECT_NEAR(nn::huber({10.0}, {0.0}, 1.0), 1.0 * (10.0 - 0.5), 1e-12);
+}
+
+TEST(Loss, HuberGradientIsClamped) {
+  const Vec g = nn::huber_gradient({10.0, -10.0, 0.2}, {0.0, 0.0, 0.0}, 1.0);
+  EXPECT_DOUBLE_EQ(g[0], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(g[1], -1.0 / 3.0);
+  EXPECT_NEAR(g[2], 0.2 / 3.0, 1e-15);
+}
+
+}  // namespace
+}  // namespace cocktail

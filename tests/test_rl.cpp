@@ -1,0 +1,310 @@
+// Unit tests for src/rl primitives: replay buffer, OU noise, GAE,
+// Gaussian/categorical policies (log-probs, KL, analytic gradients checked
+// against finite differences).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "rl/categorical_policy.h"
+#include "rl/gae.h"
+#include "rl/gaussian_policy.h"
+#include "rl/noise.h"
+#include "rl/replay_buffer.h"
+
+namespace cocktail {
+namespace {
+
+using la::Vec;
+
+TEST(ReplayBuffer, EvictsOldestAtCapacity) {
+  rl::ReplayBuffer buffer(3);
+  for (double k = 0; k < 5; ++k)
+    buffer.add({{k}, {0.0}, k, {k + 1}, false});
+  EXPECT_EQ(buffer.size(), 3u);
+  // Only rewards 2, 3, 4 can be sampled now.
+  util::Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const auto batch = buffer.sample(4, rng);
+    for (const auto* tr : batch) EXPECT_GE(tr->reward, 2.0);
+  }
+}
+
+TEST(ReplayBuffer, SampleFromEmptyThrows) {
+  rl::ReplayBuffer buffer(4);
+  util::Rng rng(2);
+  EXPECT_THROW((void)buffer.sample(1, rng), std::logic_error);
+}
+
+TEST(ReplayBuffer, ClearResets) {
+  rl::ReplayBuffer buffer(4);
+  buffer.add({{0.0}, {0.0}, 0.0, {0.0}, false});
+  buffer.clear();
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(OuNoise, MeanRevertsToMu) {
+  rl::OuNoise noise(1, 0.2, 0.0, 3.0);  // zero sigma: pure drift toward mu.
+  noise.reset();
+  util::Rng rng(3);
+  Vec x;
+  for (int t = 0; t < 200; ++t) x = noise.sample(rng);
+  EXPECT_NEAR(x[0], 3.0, 1e-6);
+}
+
+TEST(OuNoise, IsTemporallyCorrelated) {
+  rl::OuNoise noise(1, 0.05, 0.1);
+  util::Rng rng(4);
+  double corr_sum = 0.0;
+  double prev = noise.sample(rng)[0];
+  for (int t = 0; t < 5000; ++t) {
+    const double cur = noise.sample(rng)[0];
+    corr_sum += cur * prev;
+    prev = cur;
+  }
+  EXPECT_GT(corr_sum / 5000.0, 0.0);  // positive lag-1 autocorrelation.
+}
+
+TEST(Gae, SingleStepIsTdError) {
+  rl::RolloutBatch batch;
+  batch.states = {{0.0}};
+  batch.actions = {{0.0}};
+  batch.rewards = {2.0};
+  batch.values = {1.0};
+  batch.next_values = {3.0};
+  batch.log_probs = {0.0};
+  batch.terminal = {false};
+  batch.truncated = {true};
+  const auto adv = rl::compute_gae(batch, 0.9, 0.95, /*normalize=*/false);
+  EXPECT_NEAR(adv.advantages[0], 2.0 + 0.9 * 3.0 - 1.0, 1e-12);
+  EXPECT_NEAR(adv.returns[0], adv.advantages[0] + 1.0, 1e-12);
+}
+
+TEST(Gae, TerminalCutsBootstrap) {
+  rl::RolloutBatch batch;
+  batch.states = {{0.0}, {0.0}};
+  batch.actions = {{0.0}, {0.0}};
+  batch.rewards = {1.0, -10.0};
+  batch.values = {0.5, 0.25};
+  batch.next_values = {0.25, 99.0};  // 99 must be ignored: terminal.
+  batch.log_probs = {0.0, 0.0};
+  batch.terminal = {false, true};
+  batch.truncated = {false, false};
+  const auto adv = rl::compute_gae(batch, 1.0, 1.0, false);
+  const double delta1 = -10.0 - 0.25;             // no bootstrap at terminal.
+  const double delta0 = 1.0 + 0.25 - 0.5;
+  EXPECT_NEAR(adv.advantages[1], delta1, 1e-12);
+  EXPECT_NEAR(adv.advantages[0], delta0 + delta1, 1e-12);  // lambda=1 chain.
+}
+
+TEST(Gae, TruncationStopsLambdaChainButKeepsBootstrap) {
+  rl::RolloutBatch batch;
+  batch.states = {{0.0}, {0.0}};
+  batch.actions = {{0.0}, {0.0}};
+  batch.rewards = {1.0, 1.0};
+  batch.values = {0.0, 0.0};
+  batch.next_values = {5.0, 5.0};
+  batch.log_probs = {0.0, 0.0};
+  batch.terminal = {false, false};
+  batch.truncated = {true, true};  // two independent truncated episodes.
+  const auto adv = rl::compute_gae(batch, 0.5, 0.9, false);
+  // Each step: delta = 1 + 0.5*5 - 0 = 3.5, no chaining across truncation.
+  EXPECT_NEAR(adv.advantages[0], 3.5, 1e-12);
+  EXPECT_NEAR(adv.advantages[1], 3.5, 1e-12);
+}
+
+TEST(Gae, NormalizationZeroMeanUnitVar) {
+  rl::RolloutBatch batch;
+  const int n = 64;
+  for (int i = 0; i < n; ++i) {
+    batch.states.push_back({0.0});
+    batch.actions.push_back({0.0});
+    batch.rewards.push_back(static_cast<double>(i % 7));
+    batch.values.push_back(0.0);
+    batch.next_values.push_back(0.0);
+    batch.log_probs.push_back(0.0);
+    batch.terminal.push_back(false);
+    batch.truncated.push_back((i % 8) == 7);
+  }
+  const auto adv = rl::compute_gae(batch, 0.99, 0.95, true);
+  double mean = 0.0, var = 0.0;
+  for (double a : adv.advantages) mean += a;
+  mean /= n;
+  for (double a : adv.advantages) var += (a - mean) * (a - mean);
+  var /= n;
+  EXPECT_NEAR(mean, 0.0, 1e-9);
+  EXPECT_NEAR(var, 1.0, 1e-2);
+}
+
+TEST(GaussianPolicy, LogProbMatchesClosedForm) {
+  rl::GaussianPolicy policy(2, {8}, 2, 0.5, 21);
+  const Vec s = {0.3, -0.2};
+  const Vec mu = policy.mean(s);
+  const Vec a = {mu[0] + 0.1, mu[1] - 0.3};
+  double expected = 0.0;
+  for (std::size_t i = 0; i < 2; ++i) {
+    const double z = (a[i] - mu[i]) / 0.5;
+    expected += -0.5 * z * z - std::log(0.5) -
+                0.5 * std::log(2.0 * std::numbers::pi);
+  }
+  EXPECT_NEAR(policy.log_prob(s, a), expected, 1e-10);
+}
+
+TEST(GaussianPolicy, SampleHasCorrectSpread) {
+  rl::GaussianPolicy policy(1, {4}, 1, 0.3, 22);
+  util::Rng rng(22);
+  const Vec s = {0.1};
+  const double mu = policy.mean(s)[0];
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double a = policy.sample(s, rng).action[0];
+    sum += a;
+    sum_sq += a * a;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, mu, 1e-2);
+  EXPECT_NEAR(sum_sq / n - mean * mean, 0.09, 5e-3);
+}
+
+TEST(GaussianPolicy, KlOfItselfIsZero) {
+  rl::GaussianPolicy policy(2, {6}, 2, 0.4, 23);
+  const Vec s = {0.5, 0.5};
+  EXPECT_NEAR(policy.kl_from(policy.mean(s), policy.stddev(), s), 0.0, 1e-12);
+}
+
+TEST(GaussianPolicy, LogProbGradientMatchesFiniteDifference) {
+  rl::GaussianPolicy policy(2, {6}, 1, 0.5, 24);
+  const Vec s = {0.2, -0.4};
+  util::Rng rng(24);
+  const Vec a = {policy.mean(s)[0] + 0.37};
+
+  nn::Gradients grads = policy.mean_net().zero_gradients();
+  Vec log_std_grads = la::zeros(1);
+  // coef = 1 accumulates d(-logpi); finite difference checks d(logpi).
+  policy.accumulate_log_prob_gradient(s, a, 1.0, grads, log_std_grads);
+
+  const double h = 1e-6;
+  auto& w = policy.mean_net().layers()[0].w;
+  const double saved = w(0, 0);
+  const_cast<double&>(w(0, 0)) = saved + h;
+  const double up = policy.log_prob(s, a);
+  const_cast<double&>(w(0, 0)) = saved - h;
+  const double dn = policy.log_prob(s, a);
+  const_cast<double&>(w(0, 0)) = saved;
+  EXPECT_NEAR(grads.w[0](0, 0), -(up - dn) / (2.0 * h), 1e-5);
+
+  auto& ls = policy.log_std();
+  const double saved_ls = ls[0];
+  ls[0] = saved_ls + h;
+  const double up_ls = policy.log_prob(s, a);
+  ls[0] = saved_ls - h;
+  const double dn_ls = policy.log_prob(s, a);
+  ls[0] = saved_ls;
+  EXPECT_NEAR(log_std_grads[0], -(up_ls - dn_ls) / (2.0 * h), 1e-5);
+}
+
+TEST(GaussianPolicy, KlGradientMatchesFiniteDifference) {
+  rl::GaussianPolicy policy(2, {6}, 1, 0.5, 25);
+  const Vec s = {0.1, 0.3};
+  const Vec mu_old = {policy.mean(s)[0] + 0.2};
+  const Vec std_old = {0.4};
+
+  nn::Gradients grads = policy.mean_net().zero_gradients();
+  Vec log_std_grads = la::zeros(1);
+  policy.accumulate_kl_gradient(mu_old, std_old, s, 1.0, grads, log_std_grads);
+
+  const double h = 1e-6;
+  auto& w = policy.mean_net().layers()[0].w;
+  const double saved = w(0, 0);
+  const_cast<double&>(w(0, 0)) = saved + h;
+  const double up = policy.kl_from(mu_old, std_old, s);
+  const_cast<double&>(w(0, 0)) = saved - h;
+  const double dn = policy.kl_from(mu_old, std_old, s);
+  const_cast<double&>(w(0, 0)) = saved;
+  EXPECT_NEAR(grads.w[0](0, 0), (up - dn) / (2.0 * h), 1e-5);
+
+  auto& ls = policy.log_std();
+  const double saved_ls = ls[0];
+  ls[0] = saved_ls + h;
+  const double up_ls = policy.kl_from(mu_old, std_old, s);
+  ls[0] = saved_ls - h;
+  const double dn_ls = policy.kl_from(mu_old, std_old, s);
+  ls[0] = saved_ls;
+  EXPECT_NEAR(log_std_grads[0], (up_ls - dn_ls) / (2.0 * h), 1e-5);
+}
+
+TEST(GaussianPolicy, EntropyClosedForm) {
+  rl::GaussianPolicy policy(1, {4}, 2, 0.5, 26);
+  const double expected =
+      2.0 * (std::log(0.5) +
+             0.5 * std::log(2.0 * std::numbers::pi * std::numbers::e));
+  EXPECT_NEAR(policy.entropy(), expected, 1e-12);
+}
+
+TEST(Softmax, NormalizesAndOrders) {
+  const Vec p = rl::softmax({1.0, 2.0, 3.0});
+  EXPECT_NEAR(p[0] + p[1] + p[2], 1.0, 1e-12);
+  EXPECT_LT(p[0], p[1]);
+  EXPECT_LT(p[1], p[2]);
+}
+
+TEST(Softmax, StableForLargeLogits) {
+  const Vec p = rl::softmax({1000.0, 1000.0});
+  EXPECT_NEAR(p[0], 0.5, 1e-12);
+}
+
+TEST(CategoricalPolicy, SampleFrequenciesMatchProbabilities) {
+  rl::CategoricalPolicy policy(1, {6}, 3, 27);
+  const Vec s = {0.4};
+  const Vec p = policy.probabilities(s);
+  util::Rng rng(27);
+  Vec counts(3, 0.0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) counts[policy.sample(s, rng).action] += 1.0;
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_NEAR(counts[i] / n, p[i], 0.02);
+}
+
+TEST(CategoricalPolicy, LogProbGradientMatchesFiniteDifference) {
+  rl::CategoricalPolicy policy(2, {5}, 3, 28);
+  const Vec s = {0.3, -0.1};
+  const std::size_t action = 1;
+  nn::Gradients grads = policy.logits_net().zero_gradients();
+  policy.accumulate_log_prob_gradient(s, action, 1.0, grads);
+  const double h = 1e-6;
+  auto& w = policy.logits_net().layers()[0].w;
+  const double saved = w(0, 0);
+  const_cast<double&>(w(0, 0)) = saved + h;
+  const double up = policy.log_prob(s, action);
+  const_cast<double&>(w(0, 0)) = saved - h;
+  const double dn = policy.log_prob(s, action);
+  const_cast<double&>(w(0, 0)) = saved;
+  EXPECT_NEAR(grads.w[0](0, 0), -(up - dn) / (2.0 * h), 1e-5);
+}
+
+TEST(CategoricalPolicy, KlGradientMatchesFiniteDifference) {
+  rl::CategoricalPolicy policy(2, {5}, 3, 29);
+  const Vec s = {0.2, 0.2};
+  const Vec probs_old = {0.2, 0.5, 0.3};
+  nn::Gradients grads = policy.logits_net().zero_gradients();
+  policy.accumulate_kl_gradient(probs_old, s, 1.0, grads);
+  const double h = 1e-6;
+  auto& w = policy.logits_net().layers()[0].w;
+  const double saved = w(0, 0);
+  const_cast<double&>(w(0, 0)) = saved + h;
+  const double up = policy.kl_from(probs_old, s);
+  const_cast<double&>(w(0, 0)) = saved - h;
+  const double dn = policy.kl_from(probs_old, s);
+  const_cast<double&>(w(0, 0)) = saved;
+  EXPECT_NEAR(grads.w[0](0, 0), (up - dn) / (2.0 * h), 1e-5);
+}
+
+TEST(CategoricalPolicy, KlOfItselfIsZero) {
+  rl::CategoricalPolicy policy(1, {4}, 4, 30);
+  const Vec s = {0.7};
+  EXPECT_NEAR(policy.kl_from(policy.probabilities(s), s), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace cocktail

@@ -1,0 +1,223 @@
+// End-to-end smoke tests for the RL trainers on a tiny 1-D point-mass task:
+// both DDPG and PPO must reliably improve, and training must be
+// deterministic for a fixed seed.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rl/ddpg.h"
+#include "rl/env.h"
+#include "rl/ppo.h"
+
+namespace cocktail {
+namespace {
+
+using la::Vec;
+
+/// 1-D point mass: x' = x + 0.2*a, reward 1 - x²; start x ~ U[-1, 1].
+class PointMassEnv final : public rl::Env {
+ public:
+  [[nodiscard]] std::size_t state_dim() const override { return 1; }
+  [[nodiscard]] std::size_t action_dim() const override { return 1; }
+  [[nodiscard]] int max_episode_steps() const override { return 30; }
+
+  Vec reset(util::Rng& rng) override {
+    x_ = rng.uniform(-1.0, 1.0);
+    return {x_};
+  }
+
+  rl::StepResult step(const Vec& action, util::Rng&) override {
+    x_ += 0.2 * action[0];
+    rl::StepResult result;
+    result.next_state = {x_};
+    result.reward = 1.0 - x_ * x_;
+    result.terminal = std::abs(x_) > 3.0;
+    if (result.terminal) result.reward = -10.0;
+    return result;
+  }
+
+ private:
+  double x_ = 0.0;
+};
+
+/// Discrete version: actions {left, stay, right} with step 0.15.
+class DiscretePointMassEnv final : public rl::Env {
+ public:
+  [[nodiscard]] std::size_t state_dim() const override { return 1; }
+  [[nodiscard]] std::size_t action_dim() const override { return 3; }
+  [[nodiscard]] int max_episode_steps() const override { return 30; }
+
+  Vec reset(util::Rng& rng) override {
+    x_ = rng.uniform(-1.0, 1.0);
+    return {x_};
+  }
+
+  rl::StepResult step(const Vec& action, util::Rng&) override {
+    const auto choice = static_cast<int>(action[0]);
+    x_ += 0.15 * (choice - 1);
+    rl::StepResult result;
+    result.next_state = {x_};
+    result.reward = 1.0 - x_ * x_;
+    return result;
+  }
+
+ private:
+  double x_ = 0.0;
+};
+
+rl::DdpgConfig small_ddpg(std::uint64_t seed) {
+  rl::DdpgConfig config;
+  config.actor_hidden = {16, 16};
+  config.critic_hidden = {32, 32};
+  config.episodes = 60;
+  config.warmup_steps = 200;
+  config.seed = seed;
+  return config;
+}
+
+TEST(DdpgTrain, LearnsPointMass) {
+  PointMassEnv env;
+  rl::Ddpg ddpg(small_ddpg(1));
+  const auto stats = ddpg.train(env);
+  ASSERT_EQ(stats.episode_returns.size(), 60u);
+  // Late performance must beat early performance and approach the cap (30).
+  double early = 0.0;
+  for (int i = 0; i < 10; ++i) early += stats.episode_returns[i];
+  early /= 10.0;
+  const double late = stats.final_return_mean(10);
+  EXPECT_GT(late, early);
+  EXPECT_GT(late, 24.0);
+}
+
+TEST(DdpgTrain, TrainedActorDrivesTowardOrigin) {
+  PointMassEnv env;
+  rl::Ddpg ddpg(small_ddpg(2));
+  (void)ddpg.train(env);
+  const nn::Mlp& actor = ddpg.actor();
+  // From x = 1 the action must be strongly negative; from x = -1 positive.
+  EXPECT_LT(actor.forward({1.0})[0], -0.2);
+  EXPECT_GT(actor.forward({-1.0})[0], 0.2);
+}
+
+TEST(DdpgTrain, DeterministicForFixedSeed) {
+  PointMassEnv env1, env2;
+  rl::Ddpg a(small_ddpg(3)), b(small_ddpg(3));
+  (void)a.train(env1);
+  (void)b.train(env2);
+  EXPECT_DOUBLE_EQ(a.actor().forward({0.37})[0], b.actor().forward({0.37})[0]);
+}
+
+rl::PpoConfig small_ppo(std::uint64_t seed) {
+  rl::PpoConfig config;
+  config.policy_hidden = {16, 16};
+  config.value_hidden = {32, 32};
+  config.iterations = 20;
+  config.steps_per_iteration = 600;
+  config.update_epochs = 6;
+  config.minibatch = 64;
+  config.initial_std = 0.4;
+  config.seed = seed;
+  return config;
+}
+
+TEST(PpoGaussianTrain, LearnsPointMass) {
+  PointMassEnv env;
+  rl::PpoGaussian ppo(small_ppo(4));
+  const auto stats = ppo.train(env);
+  ASSERT_EQ(stats.iteration_mean_returns.size(), 20u);
+  EXPECT_GT(stats.final_return_mean(3), stats.iteration_mean_returns[0]);
+  EXPECT_GT(stats.final_return_mean(3), 24.0);
+  // Deterministic mean must push toward the origin.
+  EXPECT_LT(ppo.policy().mean({1.0})[0], -0.2);
+  EXPECT_GT(ppo.policy().mean({-1.0})[0], 0.2);
+}
+
+TEST(PpoGaussianTrain, KlStaysModerate) {
+  // The adaptive-β KL penalty must keep per-iteration KL from exploding.
+  PointMassEnv env;
+  rl::PpoGaussian ppo(small_ppo(5));
+  const auto stats = ppo.train(env);
+  for (double kl : stats.iteration_kls) EXPECT_LT(kl, 2.0);
+}
+
+TEST(PpoGaussianTrain, ClipVariantAlsoLearns) {
+  PointMassEnv env;
+  rl::PpoConfig config = small_ppo(6);
+  config.use_clip = true;
+  rl::PpoGaussian ppo(config);
+  const auto stats = ppo.train(env);
+  EXPECT_GT(stats.final_return_mean(3), 22.0);
+}
+
+TEST(PpoCategoricalTrain, LearnsDiscretePointMass) {
+  DiscretePointMassEnv env;
+  rl::PpoCategorical ppo(small_ppo(7));
+  const auto stats = ppo.train(env);
+  EXPECT_GT(stats.final_return_mean(3), 26.0);
+  // Greedy policy: right of origin -> move left (0); left -> right (2).
+  EXPECT_EQ(ppo.policy().greedy({0.9}), 0u);
+  EXPECT_EQ(ppo.policy().greedy({-0.9}), 2u);
+}
+
+TEST(PpoGaussianTrain, DeterministicForFixedSeed) {
+  PointMassEnv env1, env2;
+  rl::PpoGaussian a(small_ppo(8)), b(small_ppo(8));
+  (void)a.train(env1);
+  (void)b.train(env2);
+  EXPECT_DOUBLE_EQ(a.policy().mean({0.21})[0], b.policy().mean({0.21})[0]);
+}
+
+TEST(PpoGaussianTrain, IncrementalMatchesMonolithic) {
+  // initialize + chunked run_iterations must equal a single train() call:
+  // checkpoint selection must not change what is learned.
+  PointMassEnv env1, env2;
+  rl::PpoGaussian mono(small_ppo(9));
+  (void)mono.train(env1);
+  rl::PpoGaussian chunked(small_ppo(9));
+  chunked.initialize(env2);
+  (void)chunked.run_iterations(env2, 7);
+  (void)chunked.run_iterations(env2, 13);
+  EXPECT_DOUBLE_EQ(mono.policy().mean({0.4})[0],
+                   chunked.policy().mean({0.4})[0]);
+}
+
+TEST(PpoGaussianTrain, RunBeforeInitializeThrows) {
+  PointMassEnv env;
+  rl::PpoGaussian ppo(small_ppo(10));
+  EXPECT_THROW((void)ppo.run_iterations(env, 1), std::logic_error);
+}
+
+TEST(DdpgTrain, IncrementalMatchesMonolithic) {
+  PointMassEnv env1, env2;
+  rl::Ddpg mono(small_ddpg(11));
+  (void)mono.train(env1);
+  rl::Ddpg chunked(small_ddpg(11));
+  chunked.initialize(env2);
+  (void)chunked.run_episodes(env2, 25);
+  (void)chunked.run_episodes(env2, 35);
+  EXPECT_DOUBLE_EQ(mono.actor().forward({0.5})[0],
+                   chunked.actor().forward({0.5})[0]);
+}
+
+TEST(DdpgTrain, RunBeforeInitializeThrows) {
+  PointMassEnv env;
+  rl::Ddpg ddpg(small_ddpg(12));
+  EXPECT_THROW((void)ddpg.run_episodes(env, 1), std::logic_error);
+}
+
+TEST(PpoCategoricalTrain, IncrementalMatchesMonolithic) {
+  DiscretePointMassEnv env1, env2;
+  rl::PpoCategorical mono(small_ppo(13));
+  (void)mono.train(env1);
+  rl::PpoCategorical chunked(small_ppo(13));
+  chunked.initialize(env2);
+  (void)chunked.run_iterations(env2, 5);
+  (void)chunked.run_iterations(env2, 15);
+  const la::Vec p_mono = mono.policy().probabilities({0.3});
+  const la::Vec p_chunk = chunked.policy().probabilities({0.3});
+  for (std::size_t i = 0; i < p_mono.size(); ++i)
+    EXPECT_DOUBLE_EQ(p_mono[i], p_chunk[i]);
+}
+
+}  // namespace
+}  // namespace cocktail

@@ -1,0 +1,201 @@
+// Unit tests for src/util: RNG quality/determinism, CSV, strings, paths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "util/csv.h"
+#include "util/paths.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace cocktail {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  util::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  util::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  util::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 3.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 3.5);
+  }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  util::Rng rng(11);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sum_sq += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 5e-3);
+  EXPECT_NEAR(var, 1.0 / 12.0, 5e-3);
+}
+
+TEST(Rng, NormalMoments) {
+  util::Rng rng(13);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sum_sq += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 1e-2);
+  EXPECT_NEAR(sum_sq / n, 1.0, 2e-2);
+}
+
+TEST(Rng, NormalWithParams) {
+  util::Rng rng(17);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(3.0, 0.5);
+  EXPECT_NEAR(sum / n, 3.0, 2e-2);
+}
+
+TEST(Rng, UniformIndexBounds) {
+  util::Rng rng(19);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto k = rng.uniform_index(7);
+    EXPECT_LT(k, 7u);
+    seen.insert(k);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit.
+}
+
+TEST(Rng, UniformIntInclusive) {
+  util::Rng rng(23);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  util::Rng rng(29);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 1e-2);
+}
+
+TEST(Rng, PermutationIsBijective) {
+  util::Rng rng(31);
+  const auto perm = rng.permutation(100);
+  std::set<std::size_t> values(perm.begin(), perm.end());
+  EXPECT_EQ(values.size(), 100u);
+  EXPECT_EQ(*values.begin(), 0u);
+  EXPECT_EQ(*values.rbegin(), 99u);
+}
+
+TEST(Rng, SpawnIsIndependent) {
+  util::Rng parent(5);
+  util::Rng child1 = parent.spawn(1);
+  util::Rng child2 = parent.spawn(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (child1.next() == child2.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DeriveSeedDecorrelatesAdjacentSeeds) {
+  // Derived seeds of consecutive parents must not be consecutive.
+  const auto a = util::derive_seed(1, 0);
+  const auto b = util::derive_seed(2, 0);
+  EXPECT_NE(a + 1, b);
+  EXPECT_NE(a, b);
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = "test_csv_out.csv";
+  {
+    util::CsvWriter csv(path, {"a", "b"});
+    csv.row({1.0, 2.5});
+    csv.row({-3.25, 1e-9});
+    EXPECT_EQ(csv.rows_written(), 2u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2.5");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RejectsArityMismatch) {
+  util::CsvWriter csv("test_csv_arity.csv", {"x"});
+  EXPECT_THROW(csv.row({1.0, 2.0}), std::invalid_argument);
+  std::remove("test_csv_arity.csv");
+}
+
+TEST(Csv, FormatNumberTrimsNoise) {
+  EXPECT_EQ(util::format_number(0.25), "0.25");
+  EXPECT_EQ(util::format_number(-3.0), "-3");
+  EXPECT_EQ(util::format_number(std::nan("")), "nan");
+}
+
+TEST(StringUtil, SplitPreservesEmptyFields) {
+  const auto parts = util::split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(util::trim("  x \t\n"), "x");
+  EXPECT_EQ(util::trim("   "), "");
+  EXPECT_EQ(util::trim("abc"), "abc");
+}
+
+TEST(StringUtil, Format) {
+  EXPECT_EQ(util::format("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(StringUtil, Pad) {
+  EXPECT_EQ(util::pad("ab", 4), "ab  ");
+  EXPECT_EQ(util::pad("abcdef", 4), "abcd");
+}
+
+TEST(Paths, EnsureDirCreates) {
+  const std::string dir = "test_paths_dir/nested";
+  util::ensure_dir(dir);
+  EXPECT_TRUE(std::filesystem::is_directory(dir));
+  std::filesystem::remove_all("test_paths_dir");
+}
+
+TEST(Paths, FileExists) {
+  EXPECT_FALSE(util::file_exists("definitely_missing_file.xyz"));
+  std::ofstream("test_exists.tmp") << "x";
+  EXPECT_TRUE(util::file_exists("test_exists.tmp"));
+  std::remove("test_exists.tmp");
+}
+
+}  // namespace
+}  // namespace cocktail

@@ -1,0 +1,137 @@
+// Tests for the NN-controller Bernstein abstraction: enclosure soundness,
+// clipping, Lipschitz-driven cost growth, and the budget failure mode that
+// reproduces the paper's κD blow-up.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/nn_controller.h"
+#include "control/mixed_controller.h"
+#include "util/rng.h"
+#include "verify/nn_abstraction.h"
+
+namespace cocktail {
+namespace {
+
+using la::Vec;
+using verify::IBox;
+using verify::Interval;
+
+ctrl::NnController make_controller(std::uint64_t seed, double scale = 1.0) {
+  nn::Mlp net = nn::Mlp::make(2, {12, 12}, 1, nn::Activation::kTanh,
+                              nn::Activation::kIdentity, seed);
+  return {std::move(net), {scale}, "k" + std::to_string(seed)};
+}
+
+IBox unbounded_u() {
+  return {Interval(-1e18, 1e18)};
+}
+
+TEST(NnAbstraction, EnclosureContainsSampledOutputs) {
+  // Soundness property over several networks and boxes.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto controller = make_controller(seed);
+    verify::AbstractionConfig config;
+    config.epsilon_target = 0.3;
+    const verify::NnAbstraction abstraction(controller, config);
+    verify::VerificationBudget budget;
+    const IBox box = verify::make_box({-0.4, -0.2}, {0.1, 0.5});
+    const auto enclosure = abstraction.enclose(box, unbounded_u(), budget);
+    util::Rng rng(seed * 91);
+    for (int k = 0; k < 300; ++k) {
+      const Vec x = {rng.uniform(-0.4, 0.1), rng.uniform(-0.2, 0.5)};
+      const double u = controller.act(x)[0];
+      EXPECT_TRUE(enclosure.u_range[0].contains(u))
+          << "seed " << seed << ": " << u << " not in "
+          << enclosure.u_range[0].to_string();
+    }
+    EXPECT_LE(enclosure.epsilon, config.epsilon_target + 1e-12);
+  }
+}
+
+TEST(NnAbstraction, AppliesControlClip) {
+  const auto controller = make_controller(3, /*scale=*/100.0);
+  verify::AbstractionConfig config;
+  config.epsilon_target = 5.0;
+  const verify::NnAbstraction abstraction(controller, config);
+  verify::VerificationBudget budget;
+  const IBox box = verify::make_box({-1.0, -1.0}, {1.0, 1.0});
+  const IBox u_bounds = {Interval(-20.0, 20.0)};
+  const auto enclosure = abstraction.enclose(box, u_bounds, budget);
+  EXPECT_GE(enclosure.u_range[0].lo(), -20.0);
+  EXPECT_LE(enclosure.u_range[0].hi(), 20.0);
+}
+
+TEST(NnAbstraction, CostGrowsWithLipschitzConstant) {
+  // Remark 2's mechanism: larger Lipschitz constant -> more partitions and
+  // NN evaluations at the same epsilon.  Single linear layers give exactly
+  // known constants L = 1 and L = 8.
+  auto make_linear = [](double weight) {
+    nn::Mlp net = nn::Mlp::make(2, {}, 1, nn::Activation::kTanh,
+                                nn::Activation::kIdentity, 1);
+    net.layers()[0].w(0, 0) = weight;
+    net.layers()[0].w(0, 1) = 0.0;
+    net.layers()[0].b[0] = 0.0;
+    return ctrl::NnController(std::move(net), {1.0}, "lin");
+  };
+  const auto small = make_linear(1.0);
+  const auto large = make_linear(8.0);
+  ASSERT_NEAR(small.lipschitz_bound(), 1.0, 1e-9);
+  ASSERT_NEAR(large.lipschitz_bound(), 8.0, 1e-9);
+  verify::AbstractionConfig config;
+  config.epsilon_target = 0.5;
+  config.max_degree = 6;
+  config.max_partition_depth = 16;
+  const verify::NnAbstraction abs_small(small, config);
+  const verify::NnAbstraction abs_large(large, config);
+  verify::VerificationBudget budget_small, budget_large;
+  const IBox box = verify::make_box({-1.0, -1.0}, {1.0, 1.0});
+  (void)abs_small.enclose(box, unbounded_u(), budget_small);
+  (void)abs_large.enclose(box, unbounded_u(), budget_large);
+  EXPECT_GT(budget_large.nn_evaluations, budget_small.nn_evaluations);
+  EXPECT_GT(budget_large.partitions, budget_small.partitions);
+}
+
+TEST(NnAbstraction, BudgetExhaustionThrows) {
+  const auto controller = make_controller(9, 50.0);  // huge L.
+  verify::AbstractionConfig config;
+  config.epsilon_target = 0.05;
+  config.max_degree = 3;
+  config.max_partition_depth = 20;
+  const verify::NnAbstraction abstraction(controller, config);
+  verify::VerificationBudget budget;
+  budget.max_nn_evaluations = 500;  // tiny budget.
+  const IBox box = verify::make_box({-1.0, -1.0}, {1.0, 1.0});
+  EXPECT_THROW((void)abstraction.enclose(box, unbounded_u(), budget),
+               verify::BudgetExhausted);
+}
+
+TEST(NnAbstraction, RejectsUncertifiedControllers) {
+  // The mixed design AW has no Lipschitz bound: abstraction must refuse it,
+  // mirroring the paper ("the mixed controller cannot be verified").
+  auto inner = std::make_shared<ctrl::NnController>(make_controller(11));
+  nn::Mlp weight_net = nn::Mlp::make(2, {4}, 1, nn::Activation::kTanh,
+                                     nn::Activation::kTanh, 12);
+  const ctrl::MixedController mixed(
+      {inner}, std::move(weight_net), 1.5,
+      sys::Box::symmetric(1, 20.0));
+  EXPECT_THROW(verify::NnAbstraction(mixed, {}), std::invalid_argument);
+}
+
+TEST(NnAbstraction, TighterEpsilonNeedsMoreWork) {
+  const auto controller = make_controller(13, 2.0);
+  const IBox box = verify::make_box({-1.0, -1.0}, {1.0, 1.0});
+  verify::AbstractionConfig loose;
+  loose.epsilon_target = 1.0;
+  verify::AbstractionConfig tight;
+  tight.epsilon_target = 0.1;
+  verify::VerificationBudget b_loose, b_tight;
+  (void)verify::NnAbstraction(controller, loose)
+      .enclose(box, unbounded_u(), b_loose);
+  (void)verify::NnAbstraction(controller, tight)
+      .enclose(box, unbounded_u(), b_tight);
+  EXPECT_GT(b_tight.nn_evaluations, b_loose.nn_evaluations);
+}
+
+}  // namespace
+}  // namespace cocktail

@@ -1,0 +1,145 @@
+// Tests for interval bound propagation and the hybrid abstraction engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/nn_controller.h"
+#include "control/polynomial_controller.h"
+#include "util/rng.h"
+#include "verify/ibp.h"
+#include "verify/nn_abstraction.h"
+
+namespace cocktail {
+namespace {
+
+using la::Vec;
+using verify::IBox;
+using verify::Interval;
+
+TEST(Ibp, ActivationIntervalsAreExactForMonotone) {
+  const Interval z(-1.0, 2.0);
+  const Interval relu = verify::activate_interval(nn::Activation::kRelu, z);
+  EXPECT_DOUBLE_EQ(relu.lo(), 0.0);
+  EXPECT_DOUBLE_EQ(relu.hi(), 2.0);
+  const Interval tanh = verify::activate_interval(nn::Activation::kTanh, z);
+  EXPECT_DOUBLE_EQ(tanh.lo(), std::tanh(-1.0));
+  EXPECT_DOUBLE_EQ(tanh.hi(), std::tanh(2.0));
+}
+
+TEST(Ibp, PointBoxReproducesForwardPass) {
+  const nn::Mlp net = nn::Mlp::make(2, {8, 8}, 1, nn::Activation::kTanh,
+                                    nn::Activation::kIdentity, 1);
+  const Vec x = {0.3, -0.7};
+  const IBox out = verify::ibp_enclose(net, verify::point_box(x));
+  const double y = net.forward(x)[0];
+  EXPECT_LE(out[0].lo(), y);
+  EXPECT_GE(out[0].hi(), y);
+  EXPECT_LT(out[0].width(), 1e-8);
+}
+
+class IbpSoundness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IbpSoundness, EnclosesSampledOutputs) {
+  // Property: IBP output box contains net(x) for every sampled x in the
+  // input box, across architectures and activations.
+  const std::uint64_t seed = GetParam();
+  for (const auto act :
+       {nn::Activation::kRelu, nn::Activation::kTanh,
+        nn::Activation::kSigmoid}) {
+    const nn::Mlp net = nn::Mlp::make(3, {10, 10}, 2, act,
+                                      nn::Activation::kIdentity, seed);
+    const IBox box =
+        verify::make_box({-0.5, -0.2, 0.0}, {0.5, 0.6, 0.4});
+    const IBox out = verify::ibp_enclose(net, box);
+    util::Rng rng(seed * 13 + 1);
+    for (int k = 0; k < 200; ++k) {
+      Vec x(3);
+      for (std::size_t d = 0; d < 3; ++d)
+        x[d] = rng.uniform(box[d].lo(), box[d].hi());
+      const Vec y = net.forward(x);
+      for (std::size_t d = 0; d < 2; ++d)
+        EXPECT_TRUE(out[d].contains(y[d]))
+            << "seed " << seed << " act " << nn::to_string(act);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IbpSoundness, ::testing::Values(1, 2, 3, 4));
+
+TEST(Ibp, WidensWithBoxWidth) {
+  const nn::Mlp net = nn::Mlp::make(2, {8}, 1, nn::Activation::kTanh,
+                                    nn::Activation::kIdentity, 5);
+  const IBox narrow = verify::make_box({-0.1, -0.1}, {0.1, 0.1});
+  const IBox wide = verify::make_box({-1.0, -1.0}, {1.0, 1.0});
+  EXPECT_LT(verify::ibp_enclose(net, narrow)[0].width(),
+            verify::ibp_enclose(net, wide)[0].width());
+}
+
+TEST(HybridAbstraction, AtLeastAsTightAsBernstein) {
+  // Hybrid and Bernstein share the same partitioning, so intersecting the
+  // IBP box at every leaf can only shrink the result.  (No such relation
+  // holds against pure-IBP, whose width-proxy partitions differ.)
+  nn::Mlp net = nn::Mlp::make(2, {12}, 1, nn::Activation::kTanh,
+                              nn::Activation::kIdentity, 7);
+  const ctrl::NnController controller(std::move(net), {1.0}, "k");
+  const IBox box = verify::make_box({-0.5, -0.5}, {0.5, 0.5});
+  const IBox u_unbounded = {Interval(-1e18, 1e18)};
+
+  auto enclose_with = [&](verify::AbstractionMethod method) {
+    verify::AbstractionConfig config;
+    config.method = method;
+    config.epsilon_target = 0.5;
+    verify::VerificationBudget budget;
+    return verify::NnAbstraction(controller, config)
+        .enclose(box, u_unbounded, budget);
+  };
+  const auto bernstein =
+      enclose_with(verify::AbstractionMethod::kBernstein);
+  const auto hybrid = enclose_with(verify::AbstractionMethod::kHybrid);
+  EXPECT_LE(hybrid.u_range[0].width(), bernstein.u_range[0].width() + 1e-12);
+}
+
+TEST(HybridAbstraction, AllEnginesAreSound) {
+  nn::Mlp net = nn::Mlp::make(2, {10, 10}, 1, nn::Activation::kTanh,
+                              nn::Activation::kIdentity, 9);
+  const ctrl::NnController controller(std::move(net), {2.0}, "k");
+  const IBox box = verify::make_box({-0.3, -0.3}, {0.3, 0.3});
+  const IBox u_unbounded = {Interval(-1e18, 1e18)};
+  util::Rng rng(10);
+  for (const auto method :
+       {verify::AbstractionMethod::kBernstein,
+        verify::AbstractionMethod::kIntervalPropagation,
+        verify::AbstractionMethod::kHybrid}) {
+    verify::AbstractionConfig config;
+    config.method = method;
+    config.epsilon_target = 0.4;
+    verify::VerificationBudget budget;
+    const auto enclosure = verify::NnAbstraction(controller, config)
+                               .enclose(box, u_unbounded, budget);
+    for (int k = 0; k < 200; ++k) {
+      const Vec x = {rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3)};
+      EXPECT_TRUE(enclosure.u_range[0].contains(controller.act(x)[0]));
+    }
+  }
+}
+
+TEST(HybridAbstraction, IbpFallsBackToBernsteinForNonNnControllers) {
+  // A polynomial controller carries no network weights; requesting IBP
+  // must silently degrade to the Bernstein engine rather than fail.
+  la::Matrix k(1, 2);
+  k(0, 0) = 1.0;
+  const auto poly = ctrl::PolynomialController::linear_feedback(k, "lin");
+  verify::AbstractionConfig config;
+  config.method = verify::AbstractionMethod::kIntervalPropagation;
+  const verify::NnAbstraction abstraction(poly, config);
+  verify::VerificationBudget budget;
+  const IBox box = verify::make_box({-1.0, -1.0}, {1.0, 1.0});
+  const auto enclosure =
+      abstraction.enclose(box, {Interval(-1e18, 1e18)}, budget);
+  // u = -s0 over [-1,1]^2 -> range ~ [-1, 1].
+  EXPECT_LE(enclosure.u_range[0].lo(), -0.9);
+  EXPECT_GE(enclosure.u_range[0].hi(), 0.9);
+}
+
+}  // namespace
+}  // namespace cocktail

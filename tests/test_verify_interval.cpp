@@ -1,0 +1,193 @@
+// Unit + property tests for interval arithmetic: every operation's result
+// must contain the pointwise result for sampled members (inclusion
+// property), plus box utilities and the interval-instantiated dynamics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sys/cartpole.h"
+#include "sys/threed.h"
+#include "sys/vanderpol.h"
+#include "util/rng.h"
+#include "verify/interval.h"
+#include "verify/interval_dynamics.h"
+
+namespace cocktail {
+namespace {
+
+using verify::IBox;
+using verify::Interval;
+
+TEST(IntervalOps, BasicArithmetic) {
+  const Interval a(1.0, 2.0), b(-1.0, 3.0);
+  EXPECT_LE((a + b).lo(), 0.0);
+  EXPECT_GE((a + b).hi(), 5.0);
+  EXPECT_LE((a - b).lo(), -2.0);
+  EXPECT_GE((a - b).hi(), 3.0);
+  EXPECT_LE((a * b).lo(), -2.0);
+  EXPECT_GE((a * b).hi(), 6.0);
+}
+
+TEST(IntervalOps, SquareIsNonNegativeAndTight) {
+  const Interval x(-2.0, 1.0);
+  const Interval sq = x.square();
+  EXPECT_GE(sq.lo(), -1e-9);
+  EXPECT_GE(sq.hi(), 4.0);
+  EXPECT_LE(sq.hi(), 4.0 + 1e-9);
+  // Naive x*x is looser: [-2, 4]; square() must be tighter at the bottom.
+  EXPECT_GT(sq.lo(), (x * x).lo() + 1.0);
+}
+
+TEST(IntervalOps, DivisionByIntervalContainingZeroThrows) {
+  EXPECT_THROW((void)(Interval(1.0, 2.0) / Interval(-1.0, 1.0)),
+               std::domain_error);
+}
+
+TEST(IntervalOps, ClampTo) {
+  const Interval x(-3.0, 5.0);
+  const Interval clamped = x.clamp_to({-1.0, 1.0});
+  EXPECT_DOUBLE_EQ(clamped.lo(), -1.0);
+  EXPECT_DOUBLE_EQ(clamped.hi(), 1.0);
+  // Entirely-outside interval collapses onto the boundary.
+  const Interval outside = Interval(5.0, 7.0).clamp_to({-1.0, 1.0});
+  EXPECT_DOUBLE_EQ(outside.lo(), 1.0);
+  EXPECT_DOUBLE_EQ(outside.hi(), 1.0);
+}
+
+class IntervalInclusion : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntervalInclusion, OperationsContainSampledResults) {
+  util::Rng rng(1000 + GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const double a_lo = rng.uniform(-3.0, 3.0);
+    const Interval a(a_lo, a_lo + rng.uniform(0.0, 2.0));
+    const double b_lo = rng.uniform(-3.0, 3.0);
+    const Interval b(b_lo, b_lo + rng.uniform(0.0, 2.0));
+    const double x = rng.uniform(a.lo(), a.hi());
+    const double y = rng.uniform(b.lo(), b.hi());
+    EXPECT_TRUE((a + b).contains(x + y));
+    EXPECT_TRUE((a - b).contains(x - y));
+    EXPECT_TRUE((a * b).contains(x * y));
+    EXPECT_TRUE(a.square().contains(x * x));
+    EXPECT_TRUE((a * 2.5).contains(x * 2.5));
+    EXPECT_TRUE((a * -1.5).contains(x * -1.5));
+    EXPECT_TRUE(verify::sin(a).contains(std::sin(x)));
+    EXPECT_TRUE(verify::cos(a).contains(std::cos(x)));
+    if (!b.contains(0.0)) EXPECT_TRUE((a / b).contains(x / y));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalInclusion, ::testing::Range(0, 8));
+
+TEST(IntervalTrig, SinCoversExtremaInsideWindow) {
+  // [0, pi] contains the max of sin.
+  const Interval s = verify::sin(Interval(0.0, 3.2));
+  EXPECT_GE(s.hi(), 1.0);
+  EXPECT_LE(s.lo(), 0.0 + 1e-9);
+  // Wide interval -> [-1, 1].
+  const Interval wide = verify::sin(Interval(-10.0, 10.0));
+  EXPECT_DOUBLE_EQ(wide.lo(), -1.0);
+  EXPECT_DOUBLE_EQ(wide.hi(), 1.0);
+}
+
+TEST(BoxUtils, MakeAndQuery) {
+  const IBox box = verify::make_box({-1.0, 0.0}, {1.0, 2.0});
+  EXPECT_TRUE(verify::box_contains(box, {0.0, 1.0}));
+  EXPECT_FALSE(verify::box_contains(box, {0.0, 2.5}));
+  EXPECT_DOUBLE_EQ(verify::box_max_width(box), 2.0);
+  EXPECT_EQ(verify::box_mid(box), (la::Vec{0.0, 1.0}));
+}
+
+TEST(BoxUtils, BisectSplitsWidestDimension) {
+  const IBox box = verify::make_box({0.0, 0.0}, {1.0, 4.0});
+  const auto [left, right] = verify::box_bisect(box);
+  EXPECT_DOUBLE_EQ(left[1].hi(), 2.0);
+  EXPECT_DOUBLE_EQ(right[1].lo(), 2.0);
+  EXPECT_DOUBLE_EQ(left[0].hi(), 1.0);  // dim 0 untouched.
+}
+
+TEST(BoxUtils, SubdivideTilesTheBox) {
+  const IBox box = verify::make_box({0.0, 0.0}, {1.0, 1.0});
+  const auto parts = verify::box_subdivide(box, {2, 3});
+  EXPECT_EQ(parts.size(), 6u);
+  // Property: every sampled point of the box lies in exactly one part.
+  util::Rng rng(5);
+  for (int k = 0; k < 200; ++k) {
+    const la::Vec p = {rng.uniform(0.001, 0.999), rng.uniform(0.001, 0.999)};
+    int hits = 0;
+    for (const auto& part : parts) hits += verify::box_contains(part, p);
+    EXPECT_GE(hits, 1);
+    EXPECT_LE(hits, 2);  // boundary points may be shared.
+  }
+}
+
+TEST(BoxUtils, HullContainsBoth) {
+  const IBox a = verify::make_box({0.0}, {1.0});
+  const IBox b = verify::make_box({2.0}, {3.0});
+  const IBox h = verify::box_hull(a, b);
+  EXPECT_TRUE(verify::box_contains_box(h, a));
+  EXPECT_TRUE(verify::box_contains_box(h, b));
+}
+
+/// Property shared by all three plants: the interval image of a box
+/// contains the concrete image of sampled (state, control, disturbance).
+template <typename SystemT>
+void check_dynamics_inclusion(const SystemT& system, std::uint64_t seed) {
+  const auto dynamics = verify::make_interval_dynamics(system);
+  util::Rng rng(seed);
+  const sys::Box region = system.sampling_region();
+  for (int trial = 0; trial < 30; ++trial) {
+    // Random sub-box of the sampling region.
+    la::Vec lo(region.dim()), hi(region.dim());
+    for (std::size_t d = 0; d < region.dim(); ++d) {
+      const double a = rng.uniform(region.lo[d], region.hi[d]);
+      const double b = rng.uniform(region.lo[d], region.hi[d]);
+      lo[d] = std::min(a, b);
+      hi[d] = std::max(a, b);
+    }
+    const IBox state_box = verify::make_box(lo, hi);
+    const sys::Box u_bounds = system.control_bounds();
+    const double u_lo = rng.uniform(u_bounds.lo[0], u_bounds.hi[0]);
+    const double u_hi = rng.uniform(u_lo, u_bounds.hi[0]);
+    const IBox image = dynamics->step(state_box, {Interval(u_lo, u_hi)});
+    for (int k = 0; k < 20; ++k) {
+      la::Vec s(region.dim());
+      for (std::size_t d = 0; d < region.dim(); ++d)
+        s[d] = rng.uniform(lo[d], hi[d]);
+      const la::Vec u = {rng.uniform(u_lo, u_hi)};
+      const la::Vec w = system.sample_disturbance(rng);
+      const la::Vec next = system.step(s, u, w);
+      EXPECT_TRUE(verify::box_contains(image, next))
+          << system.name() << " trial " << trial;
+    }
+  }
+}
+
+TEST(IntervalDynamics, VanDerPolInclusion) {
+  check_dynamics_inclusion(sys::VanDerPol(), 11);
+}
+
+TEST(IntervalDynamics, ThreeDInclusion) {
+  check_dynamics_inclusion(sys::ThreeD(), 12);
+}
+
+TEST(IntervalDynamics, CartPoleInclusion) {
+  check_dynamics_inclusion(sys::CartPole(), 13);
+}
+
+TEST(IntervalDynamics, PointBoxReproducesSimulatorStep) {
+  const sys::ThreeD system;
+  const auto dynamics = verify::make_interval_dynamics(system);
+  const la::Vec s = {0.1, -0.2, 0.3};
+  const la::Vec u = {1.5};
+  const IBox image = dynamics->step(verify::point_box(s), {Interval(1.5)});
+  const la::Vec next = system.step(s, u, {});
+  for (std::size_t d = 0; d < 3; ++d) {
+    EXPECT_LE(image[d].lo(), next[d]);
+    EXPECT_GE(image[d].hi(), next[d]);
+    EXPECT_LT(image[d].width(), 1e-9);  // essentially a point.
+  }
+}
+
+}  // namespace
+}  // namespace cocktail

@@ -1,0 +1,180 @@
+// Tests for reachable-set computation (Definition 2 / Fig 4): the verified
+// flowpipe must contain simulated trajectories, detect safety, and fail
+// cleanly on budget exhaustion.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/lqr_controller.h"
+#include "control/nn_controller.h"
+#include "control/polynomial_controller.h"
+#include "core/distiller.h"
+#include "sys/threed.h"
+#include "sys/vanderpol.h"
+#include "verify/reach.h"
+
+namespace cocktail {
+namespace {
+
+using la::Vec;
+using verify::IBox;
+using verify::Interval;
+
+/// Small LQR-based linear controller as a cheap certified subject.
+std::shared_ptr<ctrl::PolynomialController> threed_linear_controller() {
+  const sys::ThreeD system;
+  const auto lqr = ctrl::LqrController::synthesize(system, 1.0, 8.0);
+  return std::make_shared<ctrl::PolynomialController>(
+      ctrl::PolynomialController::linear_feedback(lqr.gain(), "lin"));
+}
+
+TEST(Reach, FlowpipeContainsSimulatedTrajectories) {
+  auto system = std::make_shared<sys::ThreeD>();
+  const auto controller = threed_linear_controller();
+  verify::ReachConfig config;
+  config.steps = 10;
+  config.abstraction.epsilon_target = 0.2;
+  const verify::ReachabilityAnalyzer analyzer(system, *controller, config);
+  const IBox initial =
+      verify::make_box({-0.11, 0.205, 0.1}, {-0.105, 0.21, 0.11});
+  const auto result = analyzer.analyze(initial);
+  ASSERT_TRUE(result.completed) << result.failure;
+  ASSERT_EQ(result.layers.size(), 11u);
+
+  // Property: simulated trajectories from the initial box stay inside the
+  // per-step union of reach boxes.
+  util::Rng rng(1);
+  for (int traj = 0; traj < 25; ++traj) {
+    Vec s(3);
+    for (std::size_t d = 0; d < 3; ++d)
+      s[d] = rng.uniform(initial[d].lo(), initial[d].hi());
+    for (int t = 1; t <= 10; ++t) {
+      s = system->step(s, system->clip_control(controller->act(s)), {});
+      bool covered = false;
+      for (const IBox& box : result.layers[t])
+        covered = covered || verify::box_contains(box, s);
+      ASSERT_TRUE(covered) << "trajectory " << traj << " escaped at step "
+                           << t;
+    }
+  }
+}
+
+TEST(Reach, ReportsSafeForStabilizingController) {
+  auto system = std::make_shared<sys::ThreeD>();
+  const auto controller = threed_linear_controller();
+  verify::ReachConfig config;
+  config.steps = 15;  // the paper's Fig 4 horizon.
+  config.abstraction.epsilon_target = 0.2;
+  const verify::ReachabilityAnalyzer analyzer(system, *controller, config);
+  const IBox initial =
+      verify::make_box({-0.11, 0.205, 0.1}, {-0.105, 0.21, 0.11});
+  const auto result = analyzer.analyze(initial);
+  ASSERT_TRUE(result.completed);
+  EXPECT_TRUE(result.safe);
+  EXPECT_GT(result.seconds, 0.0);
+  EXPECT_GT(result.nn_evaluations, 0);
+}
+
+TEST(Reach, DetectsUnsafeWithRunawayController) {
+  // A destabilizing (positive-feedback) controller must push the flowpipe
+  // out of X within a few steps.
+  auto system = std::make_shared<sys::ThreeD>();
+  la::Matrix k(1, 3);
+  k(0, 2) = -40.0;  // u = +40 z: runaway in z.
+  const auto runaway = std::make_shared<ctrl::PolynomialController>(
+      ctrl::PolynomialController::linear_feedback(k, "runaway"));
+  verify::ReachConfig config;
+  config.steps = 15;
+  config.abstraction.epsilon_target = 0.5;
+  const verify::ReachabilityAnalyzer analyzer(system, *runaway, config);
+  const IBox initial = verify::make_box({0.3, 0.3, 0.3}, {0.32, 0.32, 0.32});
+  const auto result = analyzer.analyze(initial);
+  ASSERT_TRUE(result.completed);
+  EXPECT_FALSE(result.safe);
+}
+
+TEST(Reach, BudgetExhaustionIsCleanFailure) {
+  auto system = std::make_shared<sys::ThreeD>();
+  nn::Mlp net = nn::Mlp::make(3, {16, 16}, 1, nn::Activation::kTanh,
+                              nn::Activation::kIdentity, 5);
+  const ctrl::NnController big(std::move(net), {30.0}, "bigL");
+  verify::ReachConfig config;
+  config.steps = 15;
+  config.abstraction.epsilon_target = 0.05;
+  config.abstraction.max_degree = 3;
+  config.budget.max_nn_evaluations = 20'000;
+  const verify::ReachabilityAnalyzer analyzer(system, big, config);
+  const IBox initial =
+      verify::make_box({-0.11, 0.205, 0.1}, {-0.105, 0.21, 0.11});
+  const auto result = analyzer.analyze(initial);
+  EXPECT_FALSE(result.completed);
+  EXPECT_FALSE(result.safe);
+  EXPECT_FALSE(result.failure.empty());
+}
+
+TEST(PaveBoxes, CoversAllInputBoxes) {
+  // Property: every input box is contained in the union of output cells.
+  util::Rng rng(21);
+  std::vector<IBox> boxes;
+  for (int k = 0; k < 40; ++k) {
+    const double x = rng.uniform(-1.0, 1.0);
+    const double y = rng.uniform(-1.0, 1.0);
+    boxes.push_back(verify::make_box({x, y},
+                                     {x + rng.uniform(0.0, 0.2),
+                                      y + rng.uniform(0.0, 0.2)}));
+  }
+  const auto cells = verify::pave_boxes(boxes, 0.1);
+  EXPECT_FALSE(cells.empty());
+  // Sample points inside input boxes; each must be inside some cell.
+  for (const IBox& box : boxes) {
+    for (int k = 0; k < 10; ++k) {
+      const la::Vec p = {rng.uniform(box[0].lo(), box[0].hi()),
+                         rng.uniform(box[1].lo(), box[1].hi())};
+      bool covered = false;
+      for (const IBox& cell : cells)
+        covered = covered || verify::box_contains(cell, p);
+      ASSERT_TRUE(covered);
+    }
+  }
+}
+
+TEST(PaveBoxes, RespectsCellCap) {
+  std::vector<IBox> boxes = {
+      verify::make_box({0.0, 0.0}, {10.0, 10.0})};
+  const auto cells = verify::pave_boxes(boxes, 0.01, /*max_cells=*/100);
+  EXPECT_LE(cells.size(), 100u);
+  EXPECT_FALSE(cells.empty());
+}
+
+TEST(PaveBoxes, MergesDuplicates) {
+  // Many identical boxes collapse onto few cells.
+  std::vector<IBox> boxes(50, verify::make_box({0.0, 0.0}, {0.05, 0.05}));
+  const auto cells = verify::pave_boxes(boxes, 0.1);
+  EXPECT_LE(cells.size(), 4u);
+}
+
+TEST(Reach, VanDerPolOneStepMatchesIntervalStep) {
+  auto system = std::make_shared<sys::VanDerPol>();
+  const ctrl::ZeroController zero(2, 1);
+  verify::ReachConfig config;
+  config.steps = 1;
+  config.abstraction.epsilon_target = 1.0;
+  config.max_box_width = 10.0;  // no subdivision.
+  const verify::ReachabilityAnalyzer analyzer(system, zero, config);
+  const IBox initial = verify::make_box({0.1, 0.1}, {0.2, 0.2});
+  const auto result = analyzer.analyze(initial);
+  ASSERT_TRUE(result.completed);
+  ASSERT_EQ(result.layers[1].size(), 1u);
+  // Zero controller => the image is the interval dynamics applied to the
+  // initial box with u = 0 and full disturbance.
+  const auto dynamics = verify::make_interval_dynamics(*system);
+  const IBox expected = dynamics->step(initial, {Interval(0.0, 0.0)});
+  const IBox& got = result.layers[1][0];
+  for (std::size_t d = 0; d < 2; ++d) {
+    EXPECT_NEAR(got[d].lo(), expected[d].lo(), 1e-6);
+    EXPECT_NEAR(got[d].hi(), expected[d].hi(), 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace cocktail
