@@ -4,6 +4,8 @@
 // training/verification budgets quoted in DESIGN.md.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "attack/fgsm.h"
 #include "control/nn_controller.h"
 #include "core/rollout.h"
@@ -11,6 +13,7 @@
 #include "nn/mlp.h"
 #include "sys/cartpole.h"
 #include "sys/vanderpol.h"
+#include "util/thread_pool.h"
 #include "verify/bernstein.h"
 #include "verify/interval_dynamics.h"
 #include "verify/nn_abstraction.h"
@@ -129,5 +132,34 @@ void BM_ClosedLoopRollout(benchmark::State& state) {
         core::rollout(*system, controller, {0.5, 0.5}, nullptr, rng));
 }
 BENCHMARK(BM_ClosedLoopRollout);
+
+// Scaling of the batched rollout engine with worker count (Arg).  Arg 1 is
+// the serial baseline; speedup(Arg k) = time(1) / time(k).  The workload is
+// the standard evaluation grid on the oscillator.  The pool is constructed
+// outside the timed loop so the measurement is rollout throughput, not
+// thread spawn/join cost.
+void BM_BatchRollout(benchmark::State& state) {
+  const auto system = std::make_shared<sys::VanDerPol>();
+  nn::Mlp net = nn::Mlp::make(2, {24}, 1, nn::Activation::kTanh,
+                              nn::Activation::kIdentity, 1);
+  const ctrl::NnController controller(std::move(net), {1.0}, "k");
+  const auto jobs = core::make_eval_jobs(*system, 256, 424242, nullptr);
+  const int workers = static_cast<int>(state.range(0));
+  core::BatchRolloutConfig config;
+  std::unique_ptr<util::ThreadPool> pool;
+  if (workers == 1) {
+    config.num_workers = 1;  // pure serial baseline, no pool at all.
+  } else {
+    pool = std::make_unique<util::ThreadPool>(workers);
+    config.pool = pool.get();
+  }
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        core::batch_rollout(*system, controller, jobs, config));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(jobs.size()));
+}
+BENCHMARK(BM_BatchRollout)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace

@@ -1,5 +1,8 @@
 #include "core/metrics.h"
 
+#include <stdexcept>
+#include <string>
+
 #include "core/rollout.h"
 
 namespace cocktail::core {
@@ -7,29 +10,40 @@ namespace cocktail::core {
 EvalResult evaluate(const sys::System& system,
                     const ctrl::Controller& controller,
                     const EvalConfig& config) {
-  EvalResult result;
-  result.num_total = config.num_initial_states;
-  util::Rng init_rng(util::derive_seed(config.seed, 1));
+  BatchRolloutConfig batch;
+  batch.num_workers = config.num_workers;
+  const std::vector<RolloutResult> rollouts = batch_rollout(
+      system, controller,
+      make_eval_jobs(system, config.num_initial_states, config.seed,
+                     config.perturbation.get()),
+      batch);
+  return summarize_rollouts(rollouts, 0, rollouts.size());
+}
+
+EvalResult summarize_rollouts(const std::vector<RolloutResult>& results,
+                              std::size_t begin, std::size_t count) {
+  if (begin > results.size() || count > results.size() - begin)
+    throw std::out_of_range("summarize_rollouts: slice [" +
+                            std::to_string(begin) + ", " +
+                            std::to_string(begin + count) +
+                            ") exceeds batch of " +
+                            std::to_string(results.size()));
+  EvalResult out;
+  out.num_total = static_cast<int>(count);
+  // Serial and in job order, so the floating-point sum is identical for
+  // every worker count.
   double energy_sum = 0.0;
-  for (int k = 0; k < config.num_initial_states; ++k) {
-    const la::Vec s0 = system.sample_initial_state(init_rng);
-    // Fresh, per-trajectory stream for disturbances/noise so adding
-    // trajectories never shifts earlier ones.
-    util::Rng traj_rng(util::derive_seed(config.seed, 1000 + k));
-    const RolloutResult r = rollout(system, controller, s0,
-                                    config.perturbation.get(), traj_rng);
-    if (r.safe) {
-      ++result.num_safe;
-      energy_sum += r.energy;
+  for (std::size_t i = begin; i < begin + count; ++i) {
+    if (results[i].safe) {
+      ++out.num_safe;
+      energy_sum += results[i].energy;
     }
   }
-  result.safe_rate = result.num_total == 0
-                         ? 0.0
-                         : static_cast<double>(result.num_safe) /
-                               static_cast<double>(result.num_total);
-  result.mean_energy =
-      result.num_safe == 0 ? 0.0 : energy_sum / result.num_safe;
-  return result;
+  out.safe_rate = count == 0 ? 0.0
+                             : static_cast<double>(out.num_safe) /
+                                   static_cast<double>(count);
+  out.mean_energy = out.num_safe == 0 ? 0.0 : energy_sum / out.num_safe;
+  return out;
 }
 
 double lipschitz_metric(const ctrl::Controller& controller) {

@@ -7,9 +7,11 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "attack/perturbation.h"
 #include "control/controller.h"
+#include "core/rollout.h"
 #include "sys/system.h"
 
 namespace cocktail::core {
@@ -19,6 +21,9 @@ struct EvalConfig {
   std::uint64_t seed = 12345;
   /// Null = evaluate without attacks or noises (Table I).
   attack::PerturbationPtr perturbation;
+  /// Worker count for the batched rollout engine (see BatchRolloutConfig):
+  /// 0 = shared pool, 1 = serial.  Results are identical either way.
+  int num_workers = 0;
 };
 
 struct EvalResult {
@@ -33,6 +38,13 @@ struct EvalResult {
 [[nodiscard]] EvalResult evaluate(const sys::System& system,
                                   const ctrl::Controller& controller,
                                   const EvalConfig& config);
+
+/// Sr and mean safe-trajectory energy over results[begin, begin + count).
+/// The single aggregation shared by evaluate() and the benches, so sliced
+/// multi-attack batches can never drift from Table I semantics.
+[[nodiscard]] EvalResult summarize_rollouts(
+    const std::vector<RolloutResult>& results, std::size_t begin,
+    std::size_t count);
 
 /// Reports the controller's certified Lipschitz bound, or a negative value
 /// when unavailable (Table I prints "-").

@@ -1,5 +1,9 @@
 #include "core/rollout.h"
 
+#include <algorithm>
+
+#include "util/thread_pool.h"
+
 namespace cocktail::core {
 
 RolloutResult rollout(const sys::System& system,
@@ -36,6 +40,47 @@ RolloutResult rollout(const sys::System& system,
   }
   result.final_state = s;
   return result;
+}
+
+std::vector<RolloutResult> batch_rollout(const sys::System& system,
+                                         const ctrl::Controller& controller,
+                                         const std::vector<RolloutJob>& jobs,
+                                         const BatchRolloutConfig& config) {
+  std::vector<RolloutResult> results(jobs.size());
+  const auto run_one = [&](std::size_t i) {
+    util::Rng rng(jobs[i].seed);
+    results[i] = rollout(system, controller, jobs[i].initial_state,
+                         jobs[i].perturbation, rng, config.rollout);
+  };
+  if (config.pool != nullptr) {
+    config.pool->parallel_for(jobs.size(), run_one);
+  } else if (config.num_workers == 1 || jobs.size() <= 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) run_one(i);
+  } else if (config.num_workers <= 0) {
+    util::ThreadPool::shared().parallel_for(jobs.size(), run_one);
+  } else {
+    util::ThreadPool pool(config.num_workers);
+    pool.parallel_for(jobs.size(), run_one);
+  }
+  return results;
+}
+
+std::vector<RolloutJob> make_eval_jobs(
+    const sys::System& system, int num_initial_states, std::uint64_t seed,
+    const attack::PerturbationModel* perturbation) {
+  std::vector<RolloutJob> jobs;
+  jobs.reserve(static_cast<std::size_t>(std::max(num_initial_states, 0)));
+  util::Rng init_rng(util::derive_seed(seed, 1));
+  for (int k = 0; k < num_initial_states; ++k) {
+    RolloutJob job;
+    job.initial_state = system.sample_initial_state(init_rng);
+    // Fresh, per-trajectory stream for disturbances/noise so adding
+    // trajectories never shifts earlier ones.
+    job.seed = util::derive_seed(seed, 1000 + static_cast<std::uint64_t>(k));
+    job.perturbation = perturbation;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
 }
 
 }  // namespace cocktail::core

@@ -7,10 +7,17 @@
 // and an external disturbance ω sampled from Ω.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "attack/perturbation.h"
 #include "control/controller.h"
 #include "sys/system.h"
 #include "util/rng.h"
+
+namespace cocktail::util {
+class ThreadPool;  // util/thread_pool.h; only held by pointer here.
+}
 
 namespace cocktail::core {
 
@@ -38,5 +45,51 @@ struct RolloutResult {
                                     const attack::PerturbationModel* perturbation,
                                     util::Rng& rng,
                                     const RolloutConfig& config = {});
+
+// --- batched rollout engine -------------------------------------------------
+//
+// Every experimental metric reduces to "simulate N independent closed loops"
+// over some (initial-state × RNG-seed × attack-config) grid; the batch API
+// fans those across a worker pool.  Determinism is scheduling-independent by
+// construction: each job owns a private RNG stream seeded from its `seed`
+// field, so results are bitwise identical for any worker count, including
+// the serial path.
+
+/// One independent closed-loop simulation.
+struct RolloutJob {
+  la::Vec initial_state;
+  /// Seed of the job's private disturbance/perturbation stream (pass it
+  /// through util::derive_seed to decorrelate consecutive job indices).
+  std::uint64_t seed = 0;
+  /// Observation perturbation for this job; null = clean rollout.  The
+  /// pointee must outlive the batch call and be safe for concurrent
+  /// const use (all library models are stateless).
+  const attack::PerturbationModel* perturbation = nullptr;
+};
+
+struct BatchRolloutConfig {
+  /// Per-rollout simulation settings, shared by every job.
+  RolloutConfig rollout;
+  /// 0 = the shared process-wide pool; 1 = serial in the calling thread;
+  /// k > 1 = a dedicated pool of k workers for this call.
+  int num_workers = 0;
+  /// Externally-owned pool; when set it overrides num_workers.  Lets
+  /// callers with many small batches avoid per-call pool construction.
+  util::ThreadPool* pool = nullptr;
+};
+
+/// Evaluates all jobs and returns results in job order.
+[[nodiscard]] std::vector<RolloutResult> batch_rollout(
+    const sys::System& system, const ctrl::Controller& controller,
+    const std::vector<RolloutJob>& jobs, const BatchRolloutConfig& config = {});
+
+/// The Monte-Carlo evaluation grid (core/metrics.h): `num_initial_states`
+/// initial states sampled from stream derive_seed(seed, 1), trajectory k
+/// simulated under stream derive_seed(seed, 1000 + k).  This is the exact
+/// seeding scheme the serial evaluator has always used, so controllers keep
+/// being compared on the identical state/disturbance sample.
+[[nodiscard]] std::vector<RolloutJob> make_eval_jobs(
+    const sys::System& system, int num_initial_states, std::uint64_t seed,
+    const attack::PerturbationModel* perturbation = nullptr);
 
 }  // namespace cocktail::core

@@ -29,17 +29,21 @@ PairedOutcome evaluate_paired(const sys::System& system,
                               const ctrl::Controller& b,
                               const EvalConfig& config) {
   PairedOutcome outcome;
-  util::Rng init_rng(util::derive_seed(config.seed, 1));
+  // One shared job grid: identical initial states and identical disturbance
+  // streams for both controllers (the paired design).
+  const std::vector<RolloutJob> jobs = make_eval_jobs(
+      system, config.num_initial_states, config.seed,
+      config.perturbation.get());
+  BatchRolloutConfig batch;
+  batch.num_workers = config.num_workers;
+  const std::vector<RolloutResult> results_a =
+      batch_rollout(system, a, jobs, batch);
+  const std::vector<RolloutResult> results_b =
+      batch_rollout(system, b, jobs, batch);
   double energy_a_sum = 0.0, energy_b_sum = 0.0;
-  for (int k = 0; k < config.num_initial_states; ++k) {
-    const la::Vec s0 = system.sample_initial_state(init_rng);
-    // Identical streams for both controllers.
-    util::Rng rng_a(util::derive_seed(config.seed, 1000 + k));
-    util::Rng rng_b(util::derive_seed(config.seed, 1000 + k));
-    const RolloutResult ra =
-        rollout(system, a, s0, config.perturbation.get(), rng_a);
-    const RolloutResult rb =
-        rollout(system, b, s0, config.perturbation.get(), rng_b);
+  for (std::size_t k = 0; k < jobs.size(); ++k) {
+    const RolloutResult& ra = results_a[k];
+    const RolloutResult& rb = results_b[k];
     if (ra.safe && rb.safe) {
       ++outcome.both_safe;
       energy_a_sum += ra.energy;

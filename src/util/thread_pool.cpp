@@ -1,0 +1,132 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace cocktail::util {
+namespace {
+
+int env_thread_count() {
+  const char* value = std::getenv("COCKTAIL_THREADS");
+  if (value == nullptr || *value == '\0') return 0;
+  const int parsed = std::atoi(value);
+  return parsed > 0 ? parsed : 0;
+}
+
+std::size_t resolve_thread_count(int requested) {
+  if (requested > 0) return static_cast<std::size_t>(requested);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  const std::size_t count = resolve_thread_count(num_threads);
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_)
+      throw std::runtime_error("ThreadPool: submit after shutdown");
+    jobs_.push(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // stopping_ and drained.
+      job = std::move(jobs_.front());
+      jobs_.pop();
+    }
+    job();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& f) {
+  if (n == 0) return;
+
+  // Shared by the caller and every enqueued driver; shared_ptr keeps it
+  // alive for drivers that wake up after the caller already returned.
+  struct State {
+    explicit State(std::size_t n) : total(n) {}
+    const std::size_t total;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex m;
+    std::condition_variable cv;
+    std::exception_ptr error;  // first failure; guarded by m.
+  };
+  auto state = std::make_shared<State>(n);
+
+  // Marks k indices finished (run or abandoned); wakes the caller on the
+  // last one.
+  auto complete = [state](std::size_t k) {
+    if (state->done.fetch_add(k) + k == state->total) {
+      std::lock_guard<std::mutex> lock(state->m);
+      state->cv.notify_all();
+    }
+  };
+
+  // Each driver claims indices until the batch is exhausted.  `f` stays
+  // valid for the drivers' whole lifetime: the caller blocks below until
+  // done == total, and after the final done increment no driver touches f.
+  auto drive = [state, complete, &f] {
+    for (;;) {
+      const std::size_t i = state->next.fetch_add(1);
+      if (i >= state->total) return;
+      try {
+        f(i);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(state->m);
+          if (!state->error) state->error = std::current_exception();
+        }
+        // Stop handing out further indices.  Whatever was never claimed
+        // must still be accounted as finished or the caller waits forever;
+        // indices already claimed by other drivers are completed by them.
+        const std::size_t old = state->next.exchange(state->total);
+        if (old < state->total) complete(state->total - old);
+      }
+      complete(1);
+    }
+  };
+
+  // One driver per worker (capped at the batch size); the caller drives too.
+  const std::size_t drivers = std::min(workers_.size(), n);
+  for (std::size_t i = 0; i < drivers; ++i) enqueue(drive);
+  drive();
+
+  std::unique_lock<std::mutex> lock(state->m);
+  state->cv.wait(lock,
+                 [&] { return state->done.load() == state->total; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(env_thread_count());
+  return pool;
+}
+
+}  // namespace cocktail::util

@@ -1,0 +1,72 @@
+// Fixed-size worker pool for embarrassingly-parallel batches.
+//
+// The batched rollout engine (core/rollout.h) fans N independent closed-loop
+// simulations across these workers; determinism is preserved because every
+// parallel unit of work carries its own RNG stream, so scheduling order can
+// never leak into results.  The pool is deliberately minimal: a mutex-guarded
+// job queue, `submit` for one-off futures, and `parallel_for` for index
+// batches in which the calling thread participates (so a pool is useful even
+// on a single-core machine and `parallel_for` can never deadlock waiting on
+// a saturated queue).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace cocktail::util {
+
+class ThreadPool {
+ public:
+  /// `num_threads` <= 0 picks the hardware concurrency (at least 1).
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (excludes callers inside parallel_for).
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a nullary callable; the future carries its result or
+  /// exception.  Throws std::runtime_error after shutdown began.
+  template <class F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> future = task->get_future();
+    enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  /// Runs f(0), ..., f(n-1) across the workers plus the calling thread and
+  /// blocks until every index completed.  Indices are claimed dynamically
+  /// (atomic counter), so uneven per-index cost balances automatically.
+  /// The first exception thrown by any f(i) is rethrown in the caller after
+  /// in-flight indices drain; remaining unclaimed indices are skipped.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& f);
+
+  /// Process-wide pool, lazily constructed.  Sized from the
+  /// COCKTAIL_THREADS environment variable when set to a positive integer,
+  /// otherwise from the hardware concurrency.
+  static ThreadPool& shared();
+
+ private:
+  void enqueue(std::function<void()> job);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> jobs_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace cocktail::util

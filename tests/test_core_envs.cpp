@@ -101,7 +101,9 @@ TEST(MixingEnv, WeightedSumMatchesEquation4) {
   // u = clip(1.5*a1*2*s0 + 1.5*a2*4*s0) = clip(1.5*s0*(1.0 - 1.0)) = 0.
   // With these weights the experts cancel: reward must be h(0) = 1 while
   // the state stays safe.
-  if (!result.terminal) EXPECT_NEAR(result.reward, 1.0, 1e-12);
+  if (!result.terminal) {
+    EXPECT_NEAR(result.reward, 1.0, 1e-12);
+  }
   (void)s;
 }
 
@@ -150,7 +152,9 @@ TEST(SwitchingEnv, UsesExactlyOneExpert) {
   (void)env.reset(rng);
   // Expert 0 outputs zero control -> reward exactly h(0) = 1 when safe.
   const auto result = env.step({0.0}, rng);
-  if (!result.terminal) EXPECT_NEAR(result.reward, 1.0, 1e-12);
+  if (!result.terminal) {
+    EXPECT_NEAR(result.reward, 1.0, 1e-12);
+  }
   // Out-of-range index must throw.
   EXPECT_THROW((void)env.step({5.0}, rng), std::invalid_argument);
 }
@@ -163,7 +167,9 @@ TEST(ExpertTrainingEnv, RewardDecreasesWithStateMagnitude) {
   (void)env.reset(rng);
   // One zero-control step from wherever we are: reward = 1 - cost(state).
   const auto result = env.step({0.0}, rng);
-  if (!result.terminal) EXPECT_LE(result.reward, 1.0);
+  if (!result.terminal) {
+    EXPECT_LE(result.reward, 1.0);
+  }
 }
 
 TEST(ExpertTrainingEnv, ActionScaleLimitsAuthority) {

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include "attack/pgd.h"
+#include "control/nn_controller.h"
 #include "control/polynomial_controller.h"
+#include "core/distiller.h"
 #include "core/expert_trainer.h"
 #include "core/metrics.h"
 #include "core/mixing.h"
@@ -100,6 +102,61 @@ TEST(DdpgMixing, ProducesBoundedMixedController) {
     const la::Vec w = result.controller->weights(s);
     for (double v : w) EXPECT_LE(std::abs(v), 1.5 + 1e-9);
   }
+}
+
+TEST(PipelineDeterminism, SameSeedSameDistilledWeights) {
+  // Determinism regression for the pipeline's training path: running the
+  // distillation step twice with the same seed must reproduce the student
+  // bitwise — even though the evaluation/rollout machinery underneath now
+  // fans work across a thread pool.
+  const auto system = sys::make_system("vanderpol");
+  la::Matrix k(1, 2);
+  k(0, 0) = 3.0;
+  k(0, 1) = 4.0;
+  const ctrl::PolynomialController teacher =
+      ctrl::PolynomialController::linear_feedback(k, "teacher");
+
+  core::DistillConfig config;
+  config.teacher_rollouts = 3;
+  config.uniform_samples = 150;
+  config.student_hidden = {8};
+  config.epochs = 4;
+  config.seed = 97;
+
+  const auto first = core::distill(*system, teacher, config, "kstar");
+  const auto second = core::distill(*system, teacher, config, "kstar");
+  ASSERT_NE(first.student, nullptr);
+  ASSERT_NE(second.student, nullptr);
+
+  const auto& net_a = first.student->net();
+  const auto& net_b = second.student->net();
+  ASSERT_EQ(net_a.num_layers(), net_b.num_layers());
+  for (std::size_t l = 0; l < net_a.num_layers(); ++l) {
+    // Bitwise: std::vector<double> equality, no tolerance.
+    EXPECT_EQ(net_a.layers()[l].w.data(), net_b.layers()[l].w.data())
+        << "layer " << l << " weights";
+    EXPECT_EQ(net_a.layers()[l].b, net_b.layers()[l].b)
+        << "layer " << l << " biases";
+  }
+  EXPECT_EQ(first.final_loss, second.final_loss);
+  EXPECT_EQ(first.dataset_size, second.dataset_size);
+}
+
+TEST(PipelineDeterminism, EvaluateIsRepeatableUnderThePool) {
+  const auto system = sys::make_system("vanderpol");
+  la::Matrix k(1, 2);
+  k(0, 0) = 3.0;
+  k(0, 1) = 4.0;
+  const auto controller = std::make_shared<ctrl::PolynomialController>(
+      ctrl::PolynomialController::linear_feedback(k, "lin"));
+  core::EvalConfig config;
+  config.num_initial_states = 80;
+  config.seed = 11;
+  const auto first = core::evaluate(*system, *controller, config);
+  const auto second = core::evaluate(*system, *controller, config);
+  EXPECT_EQ(first.num_safe, second.num_safe);
+  EXPECT_EQ(first.safe_rate, second.safe_rate);
+  EXPECT_EQ(first.mean_energy, second.mean_energy);
 }
 
 TEST(EvaluateWithPgd, RunsEndToEnd) {

@@ -113,7 +113,9 @@ TEST(FiniteWeightedEnv, StepAppliesTableEntry) {
   (void)env.reset(rng);
   // Zero experts: u = 0 regardless of entry -> reward h(0) = 1 when safe.
   const auto result = env.step({1.0}, rng);
-  if (!result.terminal) EXPECT_NEAR(result.reward, 1.0, 1e-12);
+  if (!result.terminal) {
+    EXPECT_NEAR(result.reward, 1.0, 1e-12);
+  }
   EXPECT_THROW((void)env.step({99.0}, rng), std::invalid_argument);
 }
 

@@ -24,7 +24,7 @@ TEST(Vec, AddSubScale) {
 
 TEST(Vec, DimensionMismatchThrows) {
   EXPECT_THROW(la::add({1.0}, {1.0, 2.0}), std::invalid_argument);
-  EXPECT_THROW(la::dot({1.0}, {}), std::invalid_argument);
+  EXPECT_THROW((void)la::dot({1.0}, {}), std::invalid_argument);
 }
 
 TEST(Vec, Norms) {
@@ -168,6 +168,62 @@ TEST_P(SolveRandom, ResidualIsTiny) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SolveRandom, ::testing::Range(0, 12));
+
+// Property: A * solve(A, b) ≈ b on random well-conditioned systems, with
+// the matrices and right-hand sides drawn from util::Rng streams.
+class SolveRoundTrip : public ::testing::TestWithParam<int> {
+ protected:
+  /// Random diagonally-dominant n x n matrix (condition number stays small,
+  /// so the round-trip tolerances below are dimension-robust).
+  static Matrix well_conditioned(std::size_t n, util::Rng& rng) {
+    Matrix a(n, n, rng.normal_vec(n * n));
+    for (std::size_t i = 0; i < n; ++i)
+      a(i, i) += static_cast<double>(n) + 3.0;
+    return a;
+  }
+};
+
+TEST_P(SolveRoundTrip, VectorRhs) {
+  util::Rng rng(9000 + GetParam());
+  const std::size_t n = 1 + GetParam() % 7;
+  const Matrix a = well_conditioned(n, rng);
+  const Vec b = rng.uniform_vec(n, -5.0, 5.0);
+  const Vec reconstructed = a.matvec(la::solve(a, b));
+  EXPECT_LT(la::norm_linf(la::sub(reconstructed, b)), 1e-9);
+}
+
+TEST_P(SolveRoundTrip, RecoversAKnownSolution) {
+  // Forward direction: from a known x, b = A x; solve must recover x.
+  util::Rng rng(7000 + GetParam());
+  const std::size_t n = 2 + GetParam() % 6;
+  const Matrix a = well_conditioned(n, rng);
+  const Vec x_true = rng.normal_vec(n);
+  const Vec x = la::solve(a, a.matvec(x_true));
+  EXPECT_LT(la::norm_linf(la::sub(x, x_true)), 1e-9);
+}
+
+TEST_P(SolveRoundTrip, MatrixRhs) {
+  // Column-by-column round trip: A * solve(A, B) ≈ B.
+  util::Rng rng(5000 + GetParam());
+  const std::size_t n = 2 + GetParam() % 5;
+  const std::size_t cols = 1 + GetParam() % 4;
+  const Matrix a = well_conditioned(n, rng);
+  const Matrix b(n, cols, rng.normal_vec(n * cols));
+  const Matrix reconstructed = a.matmul(la::solve(a, b));
+  EXPECT_LT((reconstructed - b).frobenius_norm(), 1e-9);
+}
+
+TEST_P(SolveRoundTrip, InverseTimesMatrixIsIdentityBothSides) {
+  util::Rng rng(3000 + GetParam());
+  const std::size_t n = 2 + GetParam() % 5;
+  const Matrix a = well_conditioned(n, rng);
+  const Matrix inv = la::inverse(a);
+  const Matrix eye = Matrix::identity(n);
+  EXPECT_LT((a.matmul(inv) - eye).frobenius_norm(), 1e-9);
+  EXPECT_LT((inv.matmul(a) - eye).frobenius_norm(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolveRoundTrip, ::testing::Range(0, 16));
 
 TEST(Solve, InverseRoundTrip) {
   util::Rng rng(17);

@@ -1,0 +1,100 @@
+// Tests for util::ThreadPool: sizing, submit futures, parallel_for index
+// coverage, exception propagation, and the shared pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace cocktail {
+namespace {
+
+TEST(ThreadPool, ExplicitSizeIsHonored) {
+  util::ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, DefaultSizeIsAtLeastOne) {
+  util::ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, SubmitReturnsResults) {
+  util::ThreadPool pool(2);
+  auto doubled = pool.submit([] { return 21 * 2; });
+  auto text = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(doubled.get(), 42);
+  EXPECT_EQ(text.get(), "ok");
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  util::ThreadPool pool(1);
+  auto failing = pool.submit(
+      []() -> int { throw std::runtime_error("submit boom"); });
+  EXPECT_THROW(failing.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  for (const int workers : {1, 2, 4}) {
+    util::ThreadPool pool(workers);
+    constexpr std::size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.parallel_for(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kN; ++i)
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << ", " << workers
+                                   << " workers";
+  }
+}
+
+TEST(ThreadPool, ParallelForHandlesEmptyAndSingletonBatches) {
+  util::ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ParallelForHandlesBatchesSmallerThanPool) {
+  util::ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(3, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesTheFirstException) {
+  util::ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [](std::size_t i) {
+                          if (i == 37) throw std::runtime_error("loop boom");
+                        }),
+      std::runtime_error);
+  // The pool stays usable afterwards.
+  std::atomic<int> count{0};
+  pool.parallel_for(10, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ParallelForRunsConsecutiveBatches) {
+  util::ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  for (int round = 0; round < 5; ++round)
+    pool.parallel_for(100, [&](std::size_t i) {
+      sum.fetch_add(static_cast<long>(i));
+    });
+  EXPECT_EQ(sum.load(), 5 * (99 * 100 / 2));
+}
+
+TEST(ThreadPool, SharedPoolIsASingleton) {
+  util::ThreadPool& a = util::ThreadPool::shared();
+  util::ThreadPool& b = util::ThreadPool::shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.size(), 1u);
+}
+
+}  // namespace
+}  // namespace cocktail

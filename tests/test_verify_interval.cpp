@@ -73,7 +73,9 @@ TEST_P(IntervalInclusion, OperationsContainSampledResults) {
     EXPECT_TRUE((a * -1.5).contains(x * -1.5));
     EXPECT_TRUE(verify::sin(a).contains(std::sin(x)));
     EXPECT_TRUE(verify::cos(a).contains(std::cos(x)));
-    if (!b.contains(0.0)) EXPECT_TRUE((a / b).contains(x / y));
+    if (!b.contains(0.0)) {
+      EXPECT_TRUE((a / b).contains(x / y));
+    }
   }
 }
 
