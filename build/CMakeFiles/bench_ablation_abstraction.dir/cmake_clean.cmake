@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_abstraction.dir/bench/bench_ablation_abstraction.cpp.o"
+  "CMakeFiles/bench_ablation_abstraction.dir/bench/bench_ablation_abstraction.cpp.o.d"
+  "bench_ablation_abstraction"
+  "bench_ablation_abstraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_abstraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

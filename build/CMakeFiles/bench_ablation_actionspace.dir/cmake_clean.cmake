@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_actionspace.dir/bench/bench_ablation_actionspace.cpp.o"
+  "CMakeFiles/bench_ablation_actionspace.dir/bench/bench_ablation_actionspace.cpp.o.d"
+  "bench_ablation_actionspace"
+  "bench_ablation_actionspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_actionspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_attack.dir/bench/bench_ablation_attack.cpp.o"
+  "CMakeFiles/bench_ablation_attack.dir/bench/bench_ablation_attack.cpp.o.d"
+  "bench_ablation_attack"
+  "bench_ablation_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_p.dir/bench/bench_ablation_p.cpp.o"
+  "CMakeFiles/bench_ablation_p.dir/bench/bench_ablation_p.cpp.o.d"
+  "bench_ablation_p"
+  "bench_ablation_p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

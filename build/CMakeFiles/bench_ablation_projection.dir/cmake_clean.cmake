@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_projection.dir/bench/bench_ablation_projection.cpp.o"
+  "CMakeFiles/bench_ablation_projection.dir/bench/bench_ablation_projection.cpp.o.d"
+  "bench_ablation_projection"
+  "bench_ablation_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

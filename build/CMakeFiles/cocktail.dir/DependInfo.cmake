@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/fgsm.cpp" "CMakeFiles/cocktail.dir/src/attack/fgsm.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/attack/fgsm.cpp.o.d"
+  "/root/repo/src/attack/perturbation.cpp" "CMakeFiles/cocktail.dir/src/attack/perturbation.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/attack/perturbation.cpp.o.d"
+  "/root/repo/src/attack/pgd.cpp" "CMakeFiles/cocktail.dir/src/attack/pgd.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/attack/pgd.cpp.o.d"
+  "/root/repo/src/control/controller.cpp" "CMakeFiles/cocktail.dir/src/control/controller.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/control/controller.cpp.o.d"
+  "/root/repo/src/control/finite_weighted_controller.cpp" "CMakeFiles/cocktail.dir/src/control/finite_weighted_controller.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/control/finite_weighted_controller.cpp.o.d"
+  "/root/repo/src/control/lqr_controller.cpp" "CMakeFiles/cocktail.dir/src/control/lqr_controller.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/control/lqr_controller.cpp.o.d"
+  "/root/repo/src/control/mixed_controller.cpp" "CMakeFiles/cocktail.dir/src/control/mixed_controller.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/control/mixed_controller.cpp.o.d"
+  "/root/repo/src/control/mpc_controller.cpp" "CMakeFiles/cocktail.dir/src/control/mpc_controller.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/control/mpc_controller.cpp.o.d"
+  "/root/repo/src/control/nn_controller.cpp" "CMakeFiles/cocktail.dir/src/control/nn_controller.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/control/nn_controller.cpp.o.d"
+  "/root/repo/src/control/polynomial_controller.cpp" "CMakeFiles/cocktail.dir/src/control/polynomial_controller.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/control/polynomial_controller.cpp.o.d"
+  "/root/repo/src/control/switched_controller.cpp" "CMakeFiles/cocktail.dir/src/control/switched_controller.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/control/switched_controller.cpp.o.d"
+  "/root/repo/src/core/distiller.cpp" "CMakeFiles/cocktail.dir/src/core/distiller.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/core/distiller.cpp.o.d"
+  "/root/repo/src/core/envs.cpp" "CMakeFiles/cocktail.dir/src/core/envs.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/core/envs.cpp.o.d"
+  "/root/repo/src/core/expert_trainer.cpp" "CMakeFiles/cocktail.dir/src/core/expert_trainer.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/core/expert_trainer.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "CMakeFiles/cocktail.dir/src/core/metrics.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/core/metrics.cpp.o.d"
+  "/root/repo/src/core/mixing.cpp" "CMakeFiles/cocktail.dir/src/core/mixing.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/core/mixing.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "CMakeFiles/cocktail.dir/src/core/pipeline.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/rollout.cpp" "CMakeFiles/cocktail.dir/src/core/rollout.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/core/rollout.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "CMakeFiles/cocktail.dir/src/core/stats.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/core/stats.cpp.o.d"
+  "/root/repo/src/la/matrix.cpp" "CMakeFiles/cocktail.dir/src/la/matrix.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/la/matrix.cpp.o.d"
+  "/root/repo/src/la/solve.cpp" "CMakeFiles/cocktail.dir/src/la/solve.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/la/solve.cpp.o.d"
+  "/root/repo/src/la/vec.cpp" "CMakeFiles/cocktail.dir/src/la/vec.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/la/vec.cpp.o.d"
+  "/root/repo/src/nn/activation.cpp" "CMakeFiles/cocktail.dir/src/nn/activation.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/nn/activation.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "CMakeFiles/cocktail.dir/src/nn/loss.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "CMakeFiles/cocktail.dir/src/nn/mlp.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/nn/mlp.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "CMakeFiles/cocktail.dir/src/nn/optimizer.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/nn/optimizer.cpp.o.d"
+  "/root/repo/src/rl/categorical_policy.cpp" "CMakeFiles/cocktail.dir/src/rl/categorical_policy.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/rl/categorical_policy.cpp.o.d"
+  "/root/repo/src/rl/ddpg.cpp" "CMakeFiles/cocktail.dir/src/rl/ddpg.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/rl/ddpg.cpp.o.d"
+  "/root/repo/src/rl/gae.cpp" "CMakeFiles/cocktail.dir/src/rl/gae.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/rl/gae.cpp.o.d"
+  "/root/repo/src/rl/gaussian_policy.cpp" "CMakeFiles/cocktail.dir/src/rl/gaussian_policy.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/rl/gaussian_policy.cpp.o.d"
+  "/root/repo/src/rl/noise.cpp" "CMakeFiles/cocktail.dir/src/rl/noise.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/rl/noise.cpp.o.d"
+  "/root/repo/src/rl/ppo.cpp" "CMakeFiles/cocktail.dir/src/rl/ppo.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/rl/ppo.cpp.o.d"
+  "/root/repo/src/rl/replay_buffer.cpp" "CMakeFiles/cocktail.dir/src/rl/replay_buffer.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/rl/replay_buffer.cpp.o.d"
+  "/root/repo/src/sys/cartpole.cpp" "CMakeFiles/cocktail.dir/src/sys/cartpole.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/sys/cartpole.cpp.o.d"
+  "/root/repo/src/sys/registry.cpp" "CMakeFiles/cocktail.dir/src/sys/registry.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/sys/registry.cpp.o.d"
+  "/root/repo/src/sys/system.cpp" "CMakeFiles/cocktail.dir/src/sys/system.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/sys/system.cpp.o.d"
+  "/root/repo/src/sys/threed.cpp" "CMakeFiles/cocktail.dir/src/sys/threed.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/sys/threed.cpp.o.d"
+  "/root/repo/src/sys/vanderpol.cpp" "CMakeFiles/cocktail.dir/src/sys/vanderpol.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/sys/vanderpol.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "CMakeFiles/cocktail.dir/src/util/csv.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/util/csv.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "CMakeFiles/cocktail.dir/src/util/logging.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/util/logging.cpp.o.d"
+  "/root/repo/src/util/paths.cpp" "CMakeFiles/cocktail.dir/src/util/paths.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/util/paths.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/cocktail.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/util/rng.cpp.o.d"
+  "/root/repo/src/util/string_util.cpp" "CMakeFiles/cocktail.dir/src/util/string_util.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/util/string_util.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "CMakeFiles/cocktail.dir/src/util/thread_pool.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/util/thread_pool.cpp.o.d"
+  "/root/repo/src/verify/bernstein.cpp" "CMakeFiles/cocktail.dir/src/verify/bernstein.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/verify/bernstein.cpp.o.d"
+  "/root/repo/src/verify/ibp.cpp" "CMakeFiles/cocktail.dir/src/verify/ibp.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/verify/ibp.cpp.o.d"
+  "/root/repo/src/verify/interval.cpp" "CMakeFiles/cocktail.dir/src/verify/interval.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/verify/interval.cpp.o.d"
+  "/root/repo/src/verify/interval_dynamics.cpp" "CMakeFiles/cocktail.dir/src/verify/interval_dynamics.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/verify/interval_dynamics.cpp.o.d"
+  "/root/repo/src/verify/invariant.cpp" "CMakeFiles/cocktail.dir/src/verify/invariant.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/verify/invariant.cpp.o.d"
+  "/root/repo/src/verify/nn_abstraction.cpp" "CMakeFiles/cocktail.dir/src/verify/nn_abstraction.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/verify/nn_abstraction.cpp.o.d"
+  "/root/repo/src/verify/reach.cpp" "CMakeFiles/cocktail.dir/src/verify/reach.cpp.o" "gcc" "CMakeFiles/cocktail.dir/src/verify/reach.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

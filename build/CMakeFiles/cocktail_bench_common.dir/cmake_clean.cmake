@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cocktail_bench_common.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/cocktail_bench_common.dir/bench/bench_common.cpp.o.d"
+  "libcocktail_bench_common.a"
+  "libcocktail_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cocktail_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

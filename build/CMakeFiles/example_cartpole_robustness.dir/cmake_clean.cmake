@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cartpole_robustness.dir/examples/cartpole_robustness.cpp.o"
+  "CMakeFiles/example_cartpole_robustness.dir/examples/cartpole_robustness.cpp.o.d"
+  "example_cartpole_robustness"
+  "example_cartpole_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cartpole_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_cartpole_robustness.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_experts.dir/examples/custom_experts.cpp.o"
+  "CMakeFiles/example_custom_experts.dir/examples/custom_experts.cpp.o.d"
+  "example_custom_experts"
+  "example_custom_experts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_experts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

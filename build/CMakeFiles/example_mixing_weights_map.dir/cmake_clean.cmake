@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mixing_weights_map.dir/examples/mixing_weights_map.cpp.o"
+  "CMakeFiles/example_mixing_weights_map.dir/examples/mixing_weights_map.cpp.o.d"
+  "example_mixing_weights_map"
+  "example_mixing_weights_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mixing_weights_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_mixing_weights_map.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_oscillator_cocktail.dir/examples/oscillator_cocktail.cpp.o"
+  "CMakeFiles/example_oscillator_cocktail.dir/examples/oscillator_cocktail.cpp.o.d"
+  "example_oscillator_cocktail"
+  "example_oscillator_cocktail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_oscillator_cocktail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

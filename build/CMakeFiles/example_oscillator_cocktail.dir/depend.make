@@ -1,0 +1,2 @@
+# Empty dependencies file for example_oscillator_cocktail.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_threed_reachability.dir/examples/threed_reachability.cpp.o"
+  "CMakeFiles/example_threed_reachability.dir/examples/threed_reachability.cpp.o.d"
+  "example_threed_reachability"
+  "example_threed_reachability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_threed_reachability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_distill.dir/tests/test_core_distill.cpp.o"
+  "CMakeFiles/test_core_distill.dir/tests/test_core_distill.cpp.o.d"
+  "test_core_distill"
+  "test_core_distill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_distill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_envs.dir/tests/test_core_envs.cpp.o"
+  "CMakeFiles/test_core_envs.dir/tests/test_core_envs.cpp.o.d"
+  "test_core_envs"
+  "test_core_envs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_envs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_rollout.dir/tests/test_core_rollout.cpp.o"
+  "CMakeFiles/test_core_rollout.dir/tests/test_core_rollout.cpp.o.d"
+  "test_core_rollout"
+  "test_core_rollout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_rollout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_finite_weighted.dir/tests/test_finite_weighted.cpp.o"
+  "CMakeFiles/test_finite_weighted.dir/tests/test_finite_weighted.cpp.o.d"
+  "test_finite_weighted"
+  "test_finite_weighted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_finite_weighted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_finite_weighted.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rl.dir/tests/test_rl.cpp.o"
+  "CMakeFiles/test_rl.dir/tests/test_rl.cpp.o.d"
+  "test_rl"
+  "test_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rl_train.dir/tests/test_rl_train.cpp.o"
+  "CMakeFiles/test_rl_train.dir/tests/test_rl_train.cpp.o.d"
+  "test_rl_train"
+  "test_rl_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rl_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rollout_batch.dir/tests/test_rollout_batch.cpp.o"
+  "CMakeFiles/test_rollout_batch.dir/tests/test_rollout_batch.cpp.o.d"
+  "test_rollout_batch"
+  "test_rollout_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rollout_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

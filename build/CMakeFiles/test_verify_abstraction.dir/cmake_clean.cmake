@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_verify_abstraction.dir/tests/test_verify_abstraction.cpp.o"
+  "CMakeFiles/test_verify_abstraction.dir/tests/test_verify_abstraction.cpp.o.d"
+  "test_verify_abstraction"
+  "test_verify_abstraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_verify_abstraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_verify_bernstein.dir/tests/test_verify_bernstein.cpp.o"
+  "CMakeFiles/test_verify_bernstein.dir/tests/test_verify_bernstein.cpp.o.d"
+  "test_verify_bernstein"
+  "test_verify_bernstein.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_verify_bernstein.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

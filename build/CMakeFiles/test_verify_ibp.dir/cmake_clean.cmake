@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_verify_ibp.dir/tests/test_verify_ibp.cpp.o"
+  "CMakeFiles/test_verify_ibp.dir/tests/test_verify_ibp.cpp.o.d"
+  "test_verify_ibp"
+  "test_verify_ibp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_verify_ibp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_verify_interval.dir/tests/test_verify_interval.cpp.o"
+  "CMakeFiles/test_verify_interval.dir/tests/test_verify_interval.cpp.o.d"
+  "test_verify_interval"
+  "test_verify_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_verify_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_verify_invariant.dir/tests/test_verify_invariant.cpp.o"
+  "CMakeFiles/test_verify_invariant.dir/tests/test_verify_invariant.cpp.o.d"
+  "test_verify_invariant"
+  "test_verify_invariant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_verify_invariant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_verify_reach.dir/tests/test_verify_reach.cpp.o"
+  "CMakeFiles/test_verify_reach.dir/tests/test_verify_reach.cpp.o.d"
+  "test_verify_reach"
+  "test_verify_reach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_verify_reach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
