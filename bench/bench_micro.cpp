@@ -7,16 +7,21 @@
 #include <memory>
 
 #include "attack/fgsm.h"
+#include "control/lqr_controller.h"
 #include "control/nn_controller.h"
+#include "control/polynomial_controller.h"
+#include "core/distiller.h"
 #include "core/rollout.h"
 #include "nn/loss.h"
 #include "nn/mlp.h"
 #include "sys/cartpole.h"
+#include "sys/threed.h"
 #include "sys/vanderpol.h"
 #include "util/thread_pool.h"
 #include "verify/bernstein.h"
 #include "verify/interval_dynamics.h"
 #include "verify/nn_abstraction.h"
+#include "verify/reach.h"
 
 namespace {
 
@@ -160,6 +165,55 @@ void BM_BatchRollout(benchmark::State& state) {
                           static_cast<std::int64_t>(jobs.size()));
 }
 BENCHMARK(BM_BatchRollout)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Scaling of the robust-distillation SGD (Algorithm 1 lines 12-14) with
+// worker count (Arg; 1 = serial).  Per-sample forward/FGSM/backward fans
+// across the pool with the fixed-order gradient reduction, so every Arg
+// computes bitwise-identical student weights; only the wall-clock moves.
+void BM_DistillSgd(benchmark::State& state) {
+  const sys::VanDerPol system;
+  const auto lqr = ctrl::LqrController::synthesize(system, 1.0, 0.5);
+  core::DistillConfig config;
+  config.teacher_rollouts = 4;
+  config.uniform_samples = 1500;
+  config.student_hidden = {48, 48};
+  config.epochs = 2;
+  config.adversarial_prob = 1.0;  // FGSM on every minibatch: the hot case.
+  config.num_workers = static_cast<int>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::distill(system, lqr, config, "bm"));
+}
+BENCHMARK(BM_DistillSgd)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Scaling of the reachability frontier sweep with worker count (Arg; 1 =
+// serial).  The frontier boxes of each step are abstracted in parallel
+// against per-box budgets and merged in frontier order, so flowpipes and
+// budget counters are identical across Args.
+void BM_ReachSweep(benchmark::State& state) {
+  auto system = std::make_shared<sys::ThreeD>();
+  const auto lqr = ctrl::LqrController::synthesize(*system, 1.0, 8.0);
+  const auto controller = std::make_shared<ctrl::PolynomialController>(
+      ctrl::PolynomialController::linear_feedback(lqr.gain(), "lin"));
+  verify::ReachConfig config;
+  config.steps = 6;
+  config.abstraction.epsilon_target = 0.08;
+  config.max_box_width = 0.02;
+  config.num_workers = static_cast<int>(state.range(0));
+  const verify::ReachabilityAnalyzer analyzer(system, *controller, config);
+  const verify::IBox initial =
+      verify::make_box({-0.16, 0.15, 0.05}, {-0.05, 0.26, 0.16});
+  for (auto _ : state) {
+    const auto result = analyzer.analyze(initial);
+    if (!result.completed) {
+      state.SkipWithError(result.failure.c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ReachSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace

@@ -61,6 +61,14 @@ int main() {
                 "on %d, both %d, neither %d\n",
                 paired.only_a_safe, paired.only_b_safe, paired.both_safe,
                 paired.neither_safe);
+    // energy_a/energy_b are NaN when no trajectory was safe under both
+    // controllers (PairedOutcome contract) — print only a real comparison.
+    if (paired.both_safe > 0)
+      std::printf("paired (attack): both-safe energy k* %.1f vs kD %.1f\n",
+                  paired.energy_a, paired.energy_b);
+    else
+      std::printf("paired (attack): no both-safe states, energies "
+                  "incomparable\n");
   }
   std::printf("\nCSV written to %s\n", csv.path().c_str());
   return 0;

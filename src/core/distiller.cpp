@@ -9,22 +9,41 @@
 #include "nn/mlp.h"
 #include "nn/optimizer.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace cocktail::core {
 
-DistillDataset build_distill_dataset(const sys::System& system,
+namespace {
+
+/// build_distill_dataset against an already-resolved pool (nullptr =
+/// serial), so distill() resolves its WorkerScope once for both the
+/// dataset build and the SGD loop.  Results are pool-independent.
+DistillDataset build_dataset_on_pool(const sys::System& system,
                                      const ctrl::Controller& teacher,
-                                     const DistillConfig& config) {
+                                     const DistillConfig& config,
+                                     util::ThreadPool* pool) {
   DistillDataset data;
   util::Rng rng(util::derive_seed(config.seed, 501));
   // On-policy teacher trajectories: the states the mixed design actually
-  // steers through.
-  RolloutConfig rollout_config;
-  rollout_config.record_trajectory = true;
+  // steers through.  Initial states come from the caller's stream; each
+  // rollout owns a derived per-rollout disturbance stream, so the batch is
+  // bitwise identical for any worker count.
+  std::vector<RolloutJob> jobs;
+  jobs.reserve(static_cast<std::size_t>(std::max(config.teacher_rollouts, 0)));
   for (int k = 0; k < config.teacher_rollouts; ++k) {
-    const la::Vec s0 = system.sample_initial_state(rng);
-    const RolloutResult r =
-        rollout(system, teacher, s0, nullptr, rng, rollout_config);
+    RolloutJob job;
+    job.initial_state = system.sample_initial_state(rng);
+    job.seed =
+        util::derive_seed(config.seed, 1500 + static_cast<std::uint64_t>(k));
+    jobs.push_back(std::move(job));
+  }
+  BatchRolloutConfig batch;
+  batch.rollout.record_trajectory = true;
+  if (pool != nullptr)
+    batch.pool = pool;
+  else
+    batch.num_workers = 1;
+  for (const RolloutResult& r : batch_rollout(system, teacher, jobs, batch)) {
     for (std::size_t t = 0; t + 1 < r.states.size(); ++t) {
       data.states.push_back(r.states[t]);
       data.controls.push_back(r.controls[t]);
@@ -42,10 +61,22 @@ DistillDataset build_distill_dataset(const sys::System& system,
   return data;
 }
 
+}  // namespace
+
+DistillDataset build_distill_dataset(const sys::System& system,
+                                     const ctrl::Controller& teacher,
+                                     const DistillConfig& config) {
+  util::WorkerScope workers(config.num_workers);
+  return build_dataset_on_pool(system, teacher, config, workers.pool());
+}
+
 DistillResult distill(const sys::System& system,
                       const ctrl::Controller& teacher,
                       const DistillConfig& config, const std::string& label) {
-  const DistillDataset data = build_distill_dataset(system, teacher, config);
+  // One pool for the whole call: dataset rollouts, SGD, and the final loss.
+  util::WorkerScope workers(config.num_workers);
+  const DistillDataset data =
+      build_dataset_on_pool(system, teacher, config, workers.pool());
   util::Rng rng(util::derive_seed(config.seed, 502));
 
   // The student mirrors the actor architecture the paper trains with DDPG:
@@ -72,10 +103,28 @@ DistillResult distill(const sys::System& system,
       config.hidden_activation, nn::Activation::kTanh,
       util::derive_seed(config.seed, 503));
   nn::Adam opt(config.learning_rate);
-  nn::Gradients grads = student.zero_gradients();
 
   const la::Vec delta_bound =
       attack::perturbation_bound(system, config.delta_fraction);
+
+  // Per-sample forward/FGSM/backward is RNG-free and independent, so each
+  // minibatch fans across the pool with per-chunk gradient buffers and a
+  // fixed-order merge (the util::chunked_reduce tree): gradients are
+  // bitwise identical for any worker count.  The grain is part of the
+  // reduction tree and must stay fixed.
+  constexpr std::size_t kSgdGrain = 8;
+  constexpr std::size_t kLossGrain = 256;
+
+  // The chunk structure depends only on (minibatch size, grain), so the
+  // chunk accumulators are hoisted out of the hot loop and reused — no
+  // per-minibatch allocation, same reduction tree.
+  const std::size_t chunk_capacity =
+      (std::min(config.minibatch, data.size()) + kSgdGrain - 1) / kSgdGrain;
+  std::vector<nn::Gradients> chunk_grads;
+  chunk_grads.reserve(chunk_capacity);
+  for (std::size_t c = 0; c < chunk_capacity; ++c)
+    chunk_grads.push_back(student.zero_gradients());
+  nn::Gradients grads = student.zero_gradients();
 
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     const auto perm = rng.permutation(data.size());
@@ -86,25 +135,38 @@ DistillResult distill(const sys::System& system,
       // Algorithm 1 line 12: one Bernoulli draw per update step decides
       // between direct distillation and adversarial training.
       const bool adversarial = rng.bernoulli(config.adversarial_prob);
-      grads.zero();
-      for (std::size_t k = start; k < end; ++k) {
-        const std::size_t i = perm[k];
-        la::Vec input = data.states[i];
-        const la::Vec& target = targets[i];
-        if (adversarial) {
-          // Inner max (line 13): δ = Δ·sign(∇_s ℓ(κ*(s;q), u)).
-          const la::Vec pred = student.forward(input);
-          const la::Vec dl_dy = nn::mse_gradient(pred, target);
-          const la::Vec grad_s = student.input_gradient(input, dl_dy);
-          la::axpy(input, 1.0, attack::fgsm_delta(grad_s, delta_bound));
+      const std::size_t count = end - start;
+      const std::size_t chunks = (count + kSgdGrain - 1) / kSgdGrain;
+      const auto run_chunk = [&](std::size_t c) {
+        nn::Gradients& acc = chunk_grads[c];
+        acc.zero();
+        const std::size_t hi = std::min(count, (c + 1) * kSgdGrain);
+        for (std::size_t k = c * kSgdGrain; k < hi; ++k) {
+          const std::size_t i = perm[start + k];
+          la::Vec input = data.states[i];
+          const la::Vec& target = targets[i];
+          if (adversarial) {
+            // Inner max (line 13): δ = Δ·sign(∇_s ℓ(κ*(s;q), u)).
+            const la::Vec pred = student.forward(input);
+            const la::Vec dl_dy = nn::mse_gradient(pred, target);
+            const la::Vec grad_s = student.input_gradient(input, dl_dy);
+            la::axpy(input, 1.0, attack::fgsm_delta(grad_s, delta_bound));
+          }
+          // Outer min (line 14): MSE on the (possibly perturbed) input.
+          nn::Mlp::Workspace ws;
+          const la::Vec pred = student.forward(input, ws);
+          la::Vec dl_dy = nn::mse_gradient(pred, target);
+          for (auto& g : dl_dy) g *= inv;
+          (void)student.backward(ws, dl_dy, acc);
         }
-        // Outer min (line 14): MSE on the (possibly perturbed) input.
-        nn::Mlp::Workspace ws;
-        const la::Vec pred = student.forward(input, ws);
-        la::Vec dl_dy = nn::mse_gradient(pred, target);
-        for (auto& g : dl_dy) g *= inv;
-        (void)student.backward(ws, dl_dy, grads);
+      };
+      if (workers.pool() == nullptr || chunks <= 1) {
+        for (std::size_t c = 0; c < chunks; ++c) run_chunk(c);
+      } else {
+        workers.pool()->parallel_for(chunks, run_chunk);
       }
+      grads.zero();
+      for (std::size_t c = 0; c < chunks; ++c) grads.axpy(1.0, chunk_grads[c]);
       if (config.lambda_l2 > 0.0)
         student.accumulate_l2_gradient(config.lambda_l2, grads);
       opt.step(student, grads);
@@ -123,10 +185,13 @@ DistillResult distill(const sys::System& system,
 
   DistillResult result;
   // Clean-data regression loss in normalized control units (comparable
-  // between κD and κ* and across systems).
-  double loss = 0.0;
-  for (std::size_t i = 0; i < data.size(); ++i)
-    loss += nn::mse(student.forward(data.states[i]), targets[i]);
+  // between κD and κ* and across systems); same fixed-order reduction.
+  const double loss = util::chunked_reduce(
+      workers.pool(), data.size(), kLossGrain, [] { return 0.0; },
+      [&](double& acc, std::size_t i) {
+        acc += nn::mse(student.forward(data.states[i]), targets[i]);
+      },
+      [](double& into, const double& from) { into += from; });
   result.final_loss = loss / static_cast<double>(data.size());
   result.dataset_size = data.size();
   result.student = std::make_shared<ctrl::NnController>(

@@ -45,6 +45,12 @@ struct DistillConfig {
   /// studied by bench_ablation_projection).
   double spectral_norm_cap = 0.0;
   std::uint64_t seed = 3;
+  /// Worker count for the parallel dataset build and minibatch SGD
+  /// (the BatchRolloutConfig convention: 0 = shared pool, 1 = serial).
+  /// Results are bitwise identical for any value — teacher rollouts own
+  /// per-rollout derived RNG streams and gradient/loss accumulation uses
+  /// the fixed-order chunked reduction (util::chunked_reduce).
+  int num_workers = 0;
 
   /// The κD baseline: same dataset/architecture, no adversarial training,
   /// no regularization.

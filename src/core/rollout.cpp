@@ -42,26 +42,57 @@ RolloutResult rollout(const sys::System& system,
   return result;
 }
 
+namespace {
+
+/// Dispatches f(0), ..., f(n-1) per the BatchRolloutConfig pool convention
+/// (explicit pool > num_workers; 1 or a trivial batch = serial inline).
+void run_batch(std::size_t n, const BatchRolloutConfig& config,
+               const std::function<void(std::size_t)>& f) {
+  if (config.pool != nullptr) {
+    config.pool->parallel_for(n, f);
+  } else if (config.num_workers == 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) f(i);
+  } else {
+    util::WorkerScope scope(config.num_workers);
+    scope.pool()->parallel_for(n, f);
+  }
+}
+
+}  // namespace
+
 std::vector<RolloutResult> batch_rollout(const sys::System& system,
                                          const ctrl::Controller& controller,
                                          const std::vector<RolloutJob>& jobs,
                                          const BatchRolloutConfig& config) {
   std::vector<RolloutResult> results(jobs.size());
-  const auto run_one = [&](std::size_t i) {
+  run_batch(jobs.size(), config, [&](std::size_t i) {
     util::Rng rng(jobs[i].seed);
     results[i] = rollout(system, controller, jobs[i].initial_state,
                          jobs[i].perturbation, rng, config.rollout);
-  };
-  if (config.pool != nullptr) {
-    config.pool->parallel_for(jobs.size(), run_one);
-  } else if (config.num_workers == 1 || jobs.size() <= 1) {
-    for (std::size_t i = 0; i < jobs.size(); ++i) run_one(i);
-  } else if (config.num_workers <= 0) {
-    util::ThreadPool::shared().parallel_for(jobs.size(), run_one);
-  } else {
-    util::ThreadPool pool(config.num_workers);
-    pool.parallel_for(jobs.size(), run_one);
-  }
+  });
+  return results;
+}
+
+PairedRolloutResults batch_rollout_paired(const sys::System& system,
+                                          const ctrl::Controller& a,
+                                          const ctrl::Controller& b,
+                                          const std::vector<RolloutJob>& jobs,
+                                          const BatchRolloutConfig& config) {
+  const std::size_t n = jobs.size();
+  PairedRolloutResults results;
+  results.a.resize(n);
+  results.b.resize(n);
+  // One fused 2N stream: index i < n is job i under `a`, index n + k is job
+  // k under `b`.  Each unit re-seeds from its job, so the fusion cannot
+  // change any trajectory.
+  run_batch(2 * n, config, [&](std::size_t i) {
+    const bool first = i < n;
+    const RolloutJob& job = jobs[first ? i : i - n];
+    util::Rng rng(job.seed);
+    RolloutResult& out = first ? results.a[i] : results.b[i - n];
+    out = rollout(system, first ? a : b, job.initial_state, job.perturbation,
+                  rng, config.rollout);
+  });
   return results;
 }
 

@@ -83,6 +83,23 @@ struct BatchRolloutConfig {
     const sys::System& system, const ctrl::Controller& controller,
     const std::vector<RolloutJob>& jobs, const BatchRolloutConfig& config = {});
 
+/// Results of a fused paired batch: `a[k]` and `b[k]` are the rollouts of
+/// job k under the respective controller.
+struct PairedRolloutResults {
+  std::vector<RolloutResult> a;
+  std::vector<RolloutResult> b;
+};
+
+/// Runs the 2N rollouts of a paired comparison as ONE job stream instead of
+/// two N-batches, so a small grid still saturates the pool.  Job k is
+/// simulated once under `a` and once under `b`, each from a fresh
+/// Rng(jobs[k].seed), so every result is bitwise identical to two separate
+/// batch_rollout calls with the same jobs.
+[[nodiscard]] PairedRolloutResults batch_rollout_paired(
+    const sys::System& system, const ctrl::Controller& a,
+    const ctrl::Controller& b, const std::vector<RolloutJob>& jobs,
+    const BatchRolloutConfig& config = {});
+
 /// The Monte-Carlo evaluation grid (core/metrics.h): `num_initial_states`
 /// initial states sampled from stream derive_seed(seed, 1), trajectory k
 /// simulated under stream derive_seed(seed, 1000 + k).  This is the exact

@@ -36,14 +36,14 @@ PairedOutcome evaluate_paired(const sys::System& system,
       config.perturbation.get());
   BatchRolloutConfig batch;
   batch.num_workers = config.num_workers;
-  const std::vector<RolloutResult> results_a =
-      batch_rollout(system, a, jobs, batch);
-  const std::vector<RolloutResult> results_b =
-      batch_rollout(system, b, jobs, batch);
+  // Fused 2N-job stream: both controllers' rollouts interleave on the pool
+  // instead of running as two half-width batches.
+  const PairedRolloutResults results =
+      batch_rollout_paired(system, a, b, jobs, batch);
   double energy_a_sum = 0.0, energy_b_sum = 0.0;
   for (std::size_t k = 0; k < jobs.size(); ++k) {
-    const RolloutResult& ra = results_a[k];
-    const RolloutResult& rb = results_b[k];
+    const RolloutResult& ra = results.a[k];
+    const RolloutResult& rb = results.b[k];
     if (ra.safe && rb.safe) {
       ++outcome.both_safe;
       energy_a_sum += ra.energy;

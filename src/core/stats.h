@@ -8,6 +8,8 @@
 // sampling noise from the contrast.
 #pragma once
 
+#include <limits>
+
 #include "attack/perturbation.h"
 #include "control/controller.h"
 #include "core/metrics.h"
@@ -30,8 +32,12 @@ struct PairedOutcome {
   int only_a_safe = 0;
   int only_b_safe = 0;
   int neither_safe = 0;
-  double energy_a = 0.0;  ///< mean energy of A over the both-safe subset.
-  double energy_b = 0.0;  ///< mean energy of B over the both-safe subset.
+  /// Mean energies over the both-safe subset.  NaN when both_safe == 0:
+  /// with no trajectory safe under both controllers there is no paired
+  /// energy comparison, and 0.0 would silently read as "zero energy".
+  /// Printers must guard with std::isnan (or check both_safe).
+  double energy_a = std::numeric_limits<double>::quiet_NaN();
+  double energy_b = std::numeric_limits<double>::quiet_NaN();
 
   [[nodiscard]] int total() const {
     return both_safe + only_a_safe + only_b_safe + neither_safe;

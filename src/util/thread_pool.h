@@ -10,6 +10,7 @@
 // a saturated queue).
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -53,6 +54,15 @@ class ThreadPool {
   /// in-flight indices drain; remaining unclaimed indices are skipped.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& f);
 
+  /// Deterministic parallel reduction over [0, n); see util::chunked_reduce
+  /// (this is the pool-backed entry point).  Bitwise identical results for
+  /// any worker count, even for non-associative (floating-point)
+  /// accumulation, as long as `grain` is held fixed.
+  template <class Make, class Body, class Merge>
+  auto parallel_reduce(std::size_t n, std::size_t grain, Make&& make,
+                       Body&& body, Merge&& merge)
+      -> std::invoke_result_t<Make&>;
+
   /// Process-wide pool, lazily constructed.  Sized from the
   /// COCKTAIL_THREADS environment variable when set to a positive integer,
   /// otherwise from the hardware concurrency.
@@ -67,6 +77,85 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+};
+
+// --- deterministic chunked reduction ---------------------------------------
+//
+// Floating-point addition is not associative, so a reduction whose shape
+// depends on the worker count (or on dynamic scheduling) cannot be bitwise
+// reproducible.  The recipe used by every parallel reduction in the library:
+//   1. split [0, n) into fixed contiguous chunks of `grain` indices — the
+//      chunking depends only on (n, grain), never on the worker count;
+//   2. give each chunk its own accumulator from `make()` and fold the
+//      chunk's indices into it in increasing order with `body(acc, i)`;
+//   3. fold the chunk accumulators in increasing chunk order with
+//      `merge(into, from)` on the calling thread.
+// Only *which thread* runs a chunk varies with scheduling; the reduction
+// tree is fixed, so the result is bitwise identical for any worker count,
+// including the serial path (`pool == nullptr`), which runs the very same
+// chunked tree inline.  Changing `grain` changes the tree and is the one
+// knob that legitimately changes low-order bits.
+
+/// Runs the recipe above on `pool` (nullptr = serial, same tree).  `body`
+/// must not touch shared mutable state; exceptions propagate per
+/// ThreadPool::parallel_for semantics.
+template <class Make, class Body, class Merge>
+auto chunked_reduce(ThreadPool* pool, std::size_t n, std::size_t grain,
+                    Make&& make, Body&& body, Merge&& merge)
+    -> std::invoke_result_t<Make&> {
+  using Acc = std::invoke_result_t<Make&>;
+  if (grain == 0) grain = 1;
+  if (n == 0) return make();
+  const std::size_t chunks = (n + grain - 1) / grain;
+  std::vector<Acc> partial;
+  partial.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) partial.push_back(make());
+  const auto run_chunk = [&](std::size_t c) {
+    Acc& acc = partial[c];
+    const std::size_t hi = std::min(n, (c + 1) * grain);
+    for (std::size_t i = c * grain; i < hi; ++i) body(acc, i);
+  };
+  if (pool == nullptr || chunks <= 1) {
+    for (std::size_t c = 0; c < chunks; ++c) run_chunk(c);
+  } else {
+    pool->parallel_for(chunks, run_chunk);
+  }
+  Acc result = std::move(partial.front());
+  for (std::size_t c = 1; c < chunks; ++c) merge(result, partial[c]);
+  return result;
+}
+
+template <class Make, class Body, class Merge>
+auto ThreadPool::parallel_reduce(std::size_t n, std::size_t grain, Make&& make,
+                                 Body&& body, Merge&& merge)
+    -> std::invoke_result_t<Make&> {
+  return chunked_reduce(this, n, grain, std::forward<Make>(make),
+                        std::forward<Body>(body), std::forward<Merge>(merge));
+}
+
+/// Resolves the `num_workers` convention shared by the batch APIs:
+/// 0 (or negative) = the shared process-wide pool, 1 = serial
+/// (`pool()` returns nullptr), k > 1 = a dedicated pool of k workers owned
+/// by this scope.  Lets multi-batch callers (distillation, reachability)
+/// resolve the pool once instead of per batch.
+class WorkerScope {
+ public:
+  explicit WorkerScope(int num_workers) {
+    if (num_workers == 1) return;
+    if (num_workers <= 0) {
+      pool_ = &ThreadPool::shared();
+    } else {
+      owned_ = std::make_unique<ThreadPool>(num_workers);
+      pool_ = owned_.get();
+    }
+  }
+
+  /// The resolved pool; nullptr means "run serially".
+  [[nodiscard]] ThreadPool* pool() const noexcept { return pool_; }
+
+ private:
+  std::unique_ptr<ThreadPool> owned_;
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace cocktail::util

@@ -5,6 +5,7 @@
 
 #include "util/logging.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace cocktail::verify {
 
@@ -101,47 +102,121 @@ ReachResult ReachabilityAnalyzer::analyze(const IBox& initial) const {
   VerificationBudget budget = config_.budget;
   const IBox u_bounds =
       make_box(system_->control_bounds().lo, system_->control_bounds().hi);
+  util::WorkerScope workers(config_.num_workers);
+
+  // The image of one frontier box: its successor boxes plus the work it
+  // consumed.  Boxes are processed in parallel, each against a private
+  // budget capped at the whole budget remaining when its *wave* started
+  // (the same cap for every box of the wave), and the per-box results are
+  // merged in frontier order below — so counters, frontier ordering, and
+  // failures are bitwise identical for any worker count.
+  struct BoxImage {
+    std::vector<IBox> next;
+    long nn_evaluations = 0;
+    long partitions = 0;
+    std::string failure;  ///< non-empty when this box exhausted the cap.
+  };
+
+  // Frontier boxes are processed in fixed-size waves with the cumulative
+  // budget re-checked between waves, so a run overshoots an exhausted
+  // budget by at most one wave's concurrent work instead of a whole
+  // frontier's (the pre-wave serial loop overshot by a single box; exact
+  // serial stop points cannot survive parallel merge determinism).  The
+  // wave size bounds that overshoot AND caps the sweep's concurrency, and
+  // is part of the deterministic schedule: it must not depend on the
+  // worker count.
+  constexpr std::size_t kFrontierWave = 16;
 
   bool all_safe = inside_safe_region(initial);
-  try {
-    for (int t = 0; t < config_.steps; ++t) {
-      const auto& frontier = result.layers.back();
-      std::vector<IBox> next;
-      for (const IBox& box : frontier) {
-        // Subdivide against wrapping before abstracting the controller.
-        std::vector<int> parts(box.size(), 1);
-        for (std::size_t d = 0; d < box.size(); ++d)
-          parts[d] = std::max(
-              1, static_cast<int>(
-                     std::ceil(box[d].width() / config_.max_box_width)));
-        for (const IBox& sub : box_subdivide(box, parts)) {
-          const ControlEnclosure u =
-              abstraction.enclose(sub, u_bounds, budget);
-          next.push_back(dynamics_->step(sub, u.u_range));
-          if (next.size() > config_.max_boxes)
-            throw BudgetExhausted(
-                "reachable-set frontier exceeded max_boxes=" +
-                std::to_string(config_.max_boxes));
+  std::string failure;
+  for (int t = 0; t < config_.steps && failure.empty(); ++t) {
+    const auto& frontier = result.layers.back();
+    std::vector<IBox> next;
+    for (std::size_t wave = 0; wave < frontier.size() && failure.empty();
+         wave += kFrontierWave) {
+      const std::size_t wave_end =
+          std::min(frontier.size(), wave + kFrontierWave);
+      std::vector<BoxImage> images(wave_end - wave);
+      const long nn_remaining =
+          budget.max_nn_evaluations - budget.nn_evaluations;
+      const long partitions_remaining =
+          budget.max_partitions - budget.partitions;
+      const auto process_box = [&](std::size_t w) {
+        BoxImage& image = images[w];
+        VerificationBudget local;
+        local.max_nn_evaluations = nn_remaining;
+        local.max_partitions = partitions_remaining;
+        try {
+          const IBox& box = frontier[wave + w];
+          // Subdivide against wrapping before abstracting the controller.
+          std::vector<int> parts(box.size(), 1);
+          for (std::size_t d = 0; d < box.size(); ++d)
+            parts[d] = std::max(
+                1, static_cast<int>(
+                       std::ceil(box[d].width() / config_.max_box_width)));
+          for (const IBox& sub : box_subdivide(box, parts)) {
+            const ControlEnclosure u =
+                abstraction.enclose(sub, u_bounds, local);
+            image.next.push_back(dynamics_->step(sub, u.u_range));
+            if (image.next.size() > config_.max_boxes)
+              throw BudgetExhausted(
+                  "reachable-set frontier exceeded max_boxes=" +
+                  std::to_string(config_.max_boxes));
+          }
+        } catch (const BudgetExhausted& e) {
+          image.failure = e.what();
         }
+        image.nn_evaluations = local.nn_evaluations;
+        image.partitions = local.partitions;
+      };
+      if (workers.pool() == nullptr || images.size() <= 1) {
+        for (std::size_t w = 0; w < images.size(); ++w) process_box(w);
+      } else {
+        workers.pool()->parallel_for(images.size(), process_box);
       }
-      // Bound the frontier: re-pave onto a regular grid once it grows past
-      // the merge threshold (sound union cover).
-      if (config_.merge_threshold > 0 &&
-          next.size() > config_.merge_threshold)
-        next = pave_boxes(next, config_.max_box_width,
-                          config_.merge_threshold * 4);
-      for (const IBox& box : next)
-        if (!inside_safe_region(box)) all_safe = false;
-      result.layers.push_back(std::move(next));
+
+      // Fixed-order merge: charge every box's work to the shared budget,
+      // keep the first failure in frontier order, and concatenate the
+      // successor boxes exactly as the serial loop would have.
+      for (BoxImage& image : images) {
+        budget.nn_evaluations += image.nn_evaluations;
+        budget.partitions += image.partitions;
+        if (!failure.empty()) continue;
+        if (!image.failure.empty()) {
+          failure = image.failure;
+          continue;
+        }
+        for (IBox& box : image.next) next.push_back(std::move(box));
+        if (next.size() > config_.max_boxes)
+          failure = "reachable-set frontier exceeded max_boxes=" +
+                    std::to_string(config_.max_boxes);
+      }
+      if (failure.empty() && budget.exhausted())
+        failure = "verification budget exhausted while abstracting '" +
+                  controller_.describe() +
+                  "' (partitions=" + std::to_string(budget.partitions) +
+                  ", nn_evals=" + std::to_string(budget.nn_evaluations) + ")";
     }
+    if (!failure.empty()) break;
+
+    // Bound the frontier: re-pave onto a regular grid once it grows past
+    // the merge threshold (sound union cover).
+    if (config_.merge_threshold > 0 && next.size() > config_.merge_threshold)
+      next = pave_boxes(next, config_.max_box_width,
+                        config_.merge_threshold * 4);
+    for (const IBox& box : next)
+      if (!inside_safe_region(box)) all_safe = false;
+    result.layers.push_back(std::move(next));
+  }
+  if (failure.empty()) {
     result.completed = true;
     result.safe = all_safe;
-  } catch (const BudgetExhausted& e) {
+  } else {
     result.completed = false;
     result.safe = false;
-    result.failure = e.what();
+    result.failure = failure;
     COCKTAIL_WARN << "reachability failed for " << controller_.describe()
-                  << ": " << e.what();
+                  << ": " << failure;
   }
   result.seconds = timer.seconds();
   result.nn_evaluations = budget.nn_evaluations;

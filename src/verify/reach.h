@@ -28,6 +28,15 @@ struct ReachConfig {
   /// boxes and bounds the frontier size.  0 disables merging.
   std::size_t merge_threshold = 1024;
   VerificationBudget budget;
+  /// Worker count for the per-box frontier sweep (the BatchRolloutConfig
+  /// convention: 0 = shared pool, 1 = serial).  Frontier ordering, budget
+  /// counters, and failures are identical for any value: boxes run in
+  /// fixed-size waves, each box against a private budget capped at the
+  /// wave's remaining budget, and per-box results merge in frontier
+  /// order (so a run overshoots an exhausted budget by at most one
+  /// wave's concurrent work — the wave schedule is identical for every
+  /// worker count, serial included).
+  int num_workers = 0;
 };
 
 struct ReachResult {

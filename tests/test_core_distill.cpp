@@ -140,6 +140,59 @@ TEST(Distill, ProjectionTighterThanUnregularized) {
   EXPECT_LE(projected.lipschitz, 20.0 * std::pow(1.0, 3.0) * 1.05);
 }
 
+void expect_same_net(const nn::Mlp& a, const nn::Mlp& b, int workers) {
+  ASSERT_EQ(a.num_layers(), b.num_layers()) << workers << " workers";
+  for (std::size_t l = 0; l < a.num_layers(); ++l) {
+    const auto& la_ = a.layers()[l];
+    const auto& lb = b.layers()[l];
+    ASSERT_EQ(la_.w.rows(), lb.w.rows()) << workers << " workers";
+    ASSERT_EQ(la_.w.cols(), lb.w.cols()) << workers << " workers";
+    for (std::size_t r = 0; r < la_.w.rows(); ++r)
+      for (std::size_t c = 0; c < la_.w.cols(); ++c)
+        ASSERT_EQ(la_.w(r, c), lb.w(r, c))  // bitwise: no tolerance.
+            << "layer " << l << " w(" << r << "," << c << "), " << workers
+            << " workers";
+    ASSERT_EQ(la_.b, lb.b) << "layer " << l << ", " << workers << " workers";
+  }
+}
+
+TEST(DistillDataset, BitwiseIdenticalForAnyWorkerCount) {
+  const sys::VanDerPol vdp;
+  const auto lqr = ctrl::LqrController::synthesize(vdp, 1.0, 0.5);
+  auto config = tiny_config();
+  config.num_workers = 1;
+  const auto reference = core::build_distill_dataset(vdp, lqr, config);
+  for (const int workers : {2, 8}) {
+    config.num_workers = workers;
+    const auto data = core::build_distill_dataset(vdp, lqr, config);
+    ASSERT_EQ(data.size(), reference.size()) << workers << " workers";
+    EXPECT_EQ(data.states, reference.states) << workers << " workers";
+    EXPECT_EQ(data.controls, reference.controls) << workers << " workers";
+  }
+}
+
+TEST(Distill, BitwiseIdenticalForAnyWorkerCount) {
+  // The whole-pipeline determinism claim: per-rollout RNG streams for the
+  // dataset plus the fixed-order gradient reduction make the trained
+  // student bitwise identical for any worker count.
+  const sys::VanDerPol vdp;
+  const auto lqr = ctrl::LqrController::synthesize(vdp, 1.0, 0.5);
+  auto config = tiny_config();
+  config.epochs = 12;  // enough steps for any divergence to compound.
+  config.num_workers = 1;
+  const auto reference = core::distill(vdp, lqr, config, "serial");
+  for (const int workers : {2, 8}) {
+    config.num_workers = workers;
+    const auto parallel = core::distill(vdp, lqr, config, "parallel");
+    expect_same_net(parallel.student->net(), reference.student->net(),
+                    workers);
+    EXPECT_EQ(parallel.final_loss, reference.final_loss)
+        << workers << " workers";
+    EXPECT_EQ(parallel.lipschitz, reference.lipschitz)
+        << workers << " workers";
+  }
+}
+
 TEST(Distill, DeterministicForFixedSeed) {
   const sys::VanDerPol vdp;
   const auto lqr = ctrl::LqrController::synthesize(vdp, 1.0, 0.5);

@@ -77,6 +77,35 @@ TEST(EvaluatePaired, DetectsDominatingController) {
   EXPECT_GT(outcome.only_a_safe, outcome.only_b_safe);
 }
 
+TEST(EvaluatePaired, EnergiesAreNanWithoutBothSafeTrajectories) {
+  // Contract: energy_a/energy_b are NaN when both_safe == 0 — a paired
+  // energy comparison does not exist, and 0.0 would read as "zero energy".
+  const sys::VanDerPol vdp;
+  const auto lqr = ctrl::LqrController::synthesize(vdp, 1.0, 0.5);
+  core::EvalConfig config;
+  config.num_initial_states = 0;
+  const auto outcome = core::evaluate_paired(vdp, lqr, lqr, config);
+  EXPECT_EQ(outcome.both_safe, 0);
+  EXPECT_TRUE(std::isnan(outcome.energy_a));
+  EXPECT_TRUE(std::isnan(outcome.energy_b));
+  // And the default-constructed outcome carries the same contract.
+  const core::PairedOutcome fresh;
+  EXPECT_TRUE(std::isnan(fresh.energy_a));
+  EXPECT_TRUE(std::isnan(fresh.energy_b));
+}
+
+TEST(EvaluatePaired, EnergiesAreFiniteWithBothSafeTrajectories) {
+  const sys::VanDerPol vdp;
+  const auto lqr = ctrl::LqrController::synthesize(vdp, 1.0, 0.5);
+  core::EvalConfig config;
+  config.num_initial_states = 60;
+  config.seed = 11;
+  const auto outcome = core::evaluate_paired(vdp, lqr, lqr, config);
+  ASSERT_GT(outcome.both_safe, 0);
+  EXPECT_TRUE(std::isfinite(outcome.energy_a));
+  EXPECT_TRUE(std::isfinite(outcome.energy_b));
+}
+
 TEST(EvaluatePaired, ConsistentWithUnpairedEvaluate) {
   // The paired marginal for controller A must equal evaluate()'s count
   // (identical seeds and streams by construction).

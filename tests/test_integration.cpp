@@ -83,6 +83,19 @@ TEST_F(PipelineIntegration, MixingProducesBoundedWeights) {
   }
 }
 
+TEST_F(PipelineIntegration, ZeroIterationMixingKeepsInitialPolicy) {
+  // iterations == 0 must not score an untrained net (the old chunk_sizes
+  // yielded a single empty chunk); it returns the initial policy directly.
+  auto config = tiny_pipeline_config();
+  config.mixing.ppo.iterations = 0;
+  const auto result =
+      core::train_adaptive_mixing(system_, experts_, config.mixing);
+  ASSERT_NE(result.controller, nullptr);
+  EXPECT_TRUE(result.stats.iteration_mean_returns.empty());
+  // The untrained mixer is still a usable, clipped controller.
+  EXPECT_LE(std::abs(result.controller->act({0.5, 0.5})[0]), 20.0);
+}
+
 TEST_F(PipelineIntegration, SwitchingSelectsRealExperts) {
   auto config = tiny_pipeline_config();
   const auto result =

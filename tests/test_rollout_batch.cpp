@@ -159,6 +159,61 @@ TEST(BatchRollout, DistinctSeedsDrawDistinctDisturbanceStreams) {
   EXPECT_NE(results[0].states, results[1].states);
 }
 
+TEST(BatchRolloutPaired, FusedBatchMatchesTwoBatchesBitwise) {
+  // The fused 2N-job stream must reproduce the two-batch implementation
+  // exactly: per-job streams re-seed from the job, so fusing cannot change
+  // any trajectory.
+  const sys::VanDerPol system;
+  const auto a = make_controller(7);
+  const auto b = make_controller(8);
+  const attack::UniformNoise noise({0.15, 0.15});
+  const auto jobs = make_jobs(system, 50, &noise);
+
+  core::BatchRolloutConfig config;
+  config.rollout.record_trajectory = true;
+  config.num_workers = 4;
+  const auto two_a = core::batch_rollout(system, a, jobs, config);
+  const auto two_b = core::batch_rollout(system, b, jobs, config);
+  const auto fused = core::batch_rollout_paired(system, a, b, jobs, config);
+
+  ASSERT_EQ(fused.a.size(), jobs.size());
+  ASSERT_EQ(fused.b.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    expect_bitwise_equal(fused.a[i], two_a[i], i);
+    expect_bitwise_equal(fused.b[i], two_b[i], i);
+  }
+}
+
+TEST(BatchRolloutPaired, WorkerCountNeverChangesResults) {
+  const sys::VanDerPol system;
+  const auto a = make_controller(7);
+  const auto b = make_controller(8);
+  const auto jobs = make_jobs(system, 30, nullptr);
+
+  core::BatchRolloutConfig serial_config;
+  serial_config.num_workers = 1;
+  const auto reference =
+      core::batch_rollout_paired(system, a, b, jobs, serial_config);
+  for (const int workers : {0, 2, 8}) {
+    core::BatchRolloutConfig config;
+    config.num_workers = workers;
+    const auto fused = core::batch_rollout_paired(system, a, b, jobs, config);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      expect_bitwise_equal(fused.a[i], reference.a[i], i);
+      expect_bitwise_equal(fused.b[i], reference.b[i], i);
+    }
+  }
+}
+
+TEST(BatchRolloutPaired, EmptyBatchReturnsEmpty) {
+  const sys::VanDerPol system;
+  const auto a = make_controller(7);
+  const auto b = make_controller(8);
+  const auto fused = core::batch_rollout_paired(system, a, b, {}, {});
+  EXPECT_TRUE(fused.a.empty());
+  EXPECT_TRUE(fused.b.empty());
+}
+
 TEST(MakeEvalJobs, ReproducesTheEvaluatorSeedingScheme) {
   const sys::VanDerPol system;
   constexpr std::uint64_t kSeed = 31337;

@@ -89,6 +89,76 @@ TEST(ThreadPool, ParallelForRunsConsecutiveBatches) {
   EXPECT_EQ(sum.load(), 5 * (99 * 100 / 2));
 }
 
+TEST(ChunkedReduce, VisitsEveryIndexInOrder) {
+  // The chunk structure and merge order are fixed, so the merged list of
+  // visited indices must come out exactly ordered — for any pool.
+  util::ThreadPool pool(4);
+  for (const std::size_t grain : {1u, 3u, 8u, 100u}) {
+    const auto visited = util::chunked_reduce(
+        &pool, 37, grain, [] { return std::vector<std::size_t>(); },
+        [](std::vector<std::size_t>& acc, std::size_t i) { acc.push_back(i); },
+        [](std::vector<std::size_t>& into, std::vector<std::size_t>& from) {
+          into.insert(into.end(), from.begin(), from.end());
+        });
+    ASSERT_EQ(visited.size(), 37u) << "grain " << grain;
+    for (std::size_t i = 0; i < visited.size(); ++i)
+      ASSERT_EQ(visited[i], i) << "grain " << grain;
+  }
+}
+
+TEST(ChunkedReduce, FloatSumBitwiseIdenticalForAnyWorkerCount) {
+  // The whole point of the fixed reduction tree: non-associative FP sums
+  // still come out bitwise equal, serial or parallel, any pool size.
+  const auto term = [](std::size_t i) {
+    return 1.0 / (1.0 + static_cast<double>(i) * 0.7);
+  };
+  const auto sum_with = [&](util::ThreadPool* pool) {
+    return util::chunked_reduce(
+        pool, 1000, 16, [] { return 0.0; },
+        [&](double& acc, std::size_t i) { acc += term(i); },
+        [](double& into, const double& from) { into += from; });
+  };
+  const double serial = sum_with(nullptr);
+  for (const int workers : {1, 2, 3, 8}) {
+    util::ThreadPool pool(workers);
+    EXPECT_EQ(sum_with(&pool), serial) << workers << " workers";
+    EXPECT_EQ(pool.parallel_reduce(
+                  1000, 16, [] { return 0.0; },
+                  [&](double& acc, std::size_t i) { acc += term(i); },
+                  [](double& into, const double& from) { into += from; }),
+              serial)
+        << workers << " workers (member)";
+  }
+}
+
+TEST(ChunkedReduce, EmptyRangeReturnsTheIdentity) {
+  util::ThreadPool pool(2);
+  const double empty = util::chunked_reduce(
+      &pool, 0, 8, [] { return -1.5; },
+      [](double& acc, std::size_t) { acc += 1.0; },
+      [](double& into, const double& from) { into += from; });
+  EXPECT_EQ(empty, -1.5);
+}
+
+TEST(ChunkedReduce, ZeroGrainIsTreatedAsOne) {
+  const auto count = util::chunked_reduce(
+      nullptr, 5, 0, [] { return 0; },
+      [](int& acc, std::size_t) { ++acc; },
+      [](int& into, const int& from) { into += from; });
+  EXPECT_EQ(count, 5);
+}
+
+TEST(WorkerScope, ResolvesTheSharedConvention) {
+  const util::WorkerScope serial(1);
+  EXPECT_EQ(serial.pool(), nullptr);
+  const util::WorkerScope shared(0);
+  EXPECT_EQ(shared.pool(), &util::ThreadPool::shared());
+  const util::WorkerScope dedicated(3);
+  ASSERT_NE(dedicated.pool(), nullptr);
+  EXPECT_NE(dedicated.pool(), &util::ThreadPool::shared());
+  EXPECT_EQ(dedicated.pool()->size(), 3u);
+}
+
 TEST(ThreadPool, SharedPoolIsASingleton) {
   util::ThreadPool& a = util::ThreadPool::shared();
   util::ThreadPool& b = util::ThreadPool::shared();

@@ -112,6 +112,79 @@ TEST(Reach, BudgetExhaustionIsCleanFailure) {
   EXPECT_FALSE(result.failure.empty());
 }
 
+void expect_same_reach(const verify::ReachResult& a,
+                       const verify::ReachResult& b, int workers) {
+  EXPECT_EQ(a.completed, b.completed) << workers << " workers";
+  EXPECT_EQ(a.safe, b.safe) << workers << " workers";
+  EXPECT_EQ(a.failure, b.failure) << workers << " workers";
+  // Budget counters must be exact, not approximate: per-box counters merge
+  // in frontier order.
+  EXPECT_EQ(a.nn_evaluations, b.nn_evaluations) << workers << " workers";
+  EXPECT_EQ(a.partitions, b.partitions) << workers << " workers";
+  ASSERT_EQ(a.layers.size(), b.layers.size()) << workers << " workers";
+  for (std::size_t t = 0; t < a.layers.size(); ++t) {
+    ASSERT_EQ(a.layers[t].size(), b.layers[t].size())
+        << "layer " << t << ", " << workers << " workers";
+    for (std::size_t k = 0; k < a.layers[t].size(); ++k)
+      for (std::size_t d = 0; d < a.layers[t][k].size(); ++d) {
+        ASSERT_EQ(a.layers[t][k][d].lo(), b.layers[t][k][d].lo())
+            << "layer " << t << " box " << k << ", " << workers << " workers";
+        ASSERT_EQ(a.layers[t][k][d].hi(), b.layers[t][k][d].hi())
+            << "layer " << t << " box " << k << ", " << workers << " workers";
+      }
+  }
+}
+
+TEST(Reach, SerialAndParallelSweepsAgreeExactly) {
+  // Multi-box frontiers (small max_box_width forces subdivision) computed
+  // serially and in parallel must agree on everything: flowpipe, safety,
+  // and the exact budget counters.
+  auto system = std::make_shared<sys::ThreeD>();
+  const auto controller = threed_linear_controller();
+  verify::ReachConfig config;
+  config.steps = 6;
+  config.abstraction.epsilon_target = 0.15;
+  config.max_box_width = 0.03;
+  config.num_workers = 1;
+  const verify::ReachabilityAnalyzer serial(system, *controller, config);
+  const IBox initial =
+      verify::make_box({-0.14, 0.18, 0.08}, {-0.08, 0.24, 0.14});
+  const auto reference = serial.analyze(initial);
+  ASSERT_TRUE(reference.completed) << reference.failure;
+  ASSERT_GT(reference.layers.back().size(), 8u)
+      << "workload too small to exercise the parallel sweep";
+  for (const int workers : {0, 2, 8}) {
+    config.num_workers = workers;
+    const verify::ReachabilityAnalyzer parallel(system, *controller, config);
+    expect_same_reach(parallel.analyze(initial), reference, workers);
+  }
+}
+
+TEST(Reach, BudgetExhaustionAgreesAcrossWorkerCounts) {
+  // Exhaustion must fail identically — same counters, same failure text —
+  // no matter how many workers swept the frontier.
+  auto system = std::make_shared<sys::ThreeD>();
+  nn::Mlp net = nn::Mlp::make(3, {16, 16}, 1, nn::Activation::kTanh,
+                              nn::Activation::kIdentity, 5);
+  const ctrl::NnController big(std::move(net), {30.0}, "bigL");
+  verify::ReachConfig config;
+  config.steps = 15;
+  config.abstraction.epsilon_target = 0.05;
+  config.abstraction.max_degree = 3;
+  config.budget.max_nn_evaluations = 20'000;
+  config.num_workers = 1;
+  const verify::ReachabilityAnalyzer serial(system, big, config);
+  const IBox initial =
+      verify::make_box({-0.11, 0.205, 0.1}, {-0.105, 0.21, 0.11});
+  const auto reference = serial.analyze(initial);
+  ASSERT_FALSE(reference.completed);
+  for (const int workers : {0, 4}) {
+    config.num_workers = workers;
+    const verify::ReachabilityAnalyzer parallel(system, big, config);
+    expect_same_reach(parallel.analyze(initial), reference, workers);
+  }
+}
+
 TEST(PaveBoxes, CoversAllInputBoxes) {
   // Property: every input box is contained in the union of output cells.
   util::Rng rng(21);
