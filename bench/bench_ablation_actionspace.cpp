@@ -36,8 +36,9 @@ int main() {
   auto report = [&](const std::string& label, double final_return,
                     const ctrl::Controller& controller) {
     const auto clean = bench::evaluate_clean(*artifacts.system, controller);
-    std::printf("%-18s %14.2f %10.1f %12.1f\n", label.c_str(), final_return,
-                100.0 * clean.safe_rate, clean.mean_energy);
+    std::printf("%-18s %14.2f %10.1f %12s\n", label.c_str(), final_return,
+                100.0 * clean.safe_rate,
+                core::format_energy(clean.mean_energy).c_str());
     csv.row_text({label, util::format_number(final_return),
                   util::format_number(100.0 * clean.safe_rate),
                   util::format_number(clean.mean_energy)});

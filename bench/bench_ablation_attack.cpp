@@ -54,9 +54,11 @@ int main() {
       const auto rr =
           core::summarize_rollouts(results_r, offset, bench::kEvalStates);
       offset += bench::kEvalStates;
-      std::printf("%9.0f%% %-8s | %10.1f %10.1f | %10.1f %10.1f\n",
+      std::printf("%9.0f%% %-8s | %10.1f %10.1f | %10s %10s\n",
                   100.0 * fraction, name.c_str(), 100.0 * rd.safe_rate,
-                  100.0 * rr.safe_rate, rd.mean_energy, rr.mean_energy);
+                  100.0 * rr.safe_rate,
+                  core::format_energy(rd.mean_energy).c_str(),
+                  core::format_energy(rr.mean_energy).c_str());
       csv.row_text({util::format_number(100.0 * fraction), name,
                     util::format_number(100.0 * rd.safe_rate),
                     util::format_number(100.0 * rr.safe_rate),

@@ -32,9 +32,9 @@ int main() {
                                       config, "lambda-ablation");
     const auto clean =
         bench::evaluate_clean(*artifacts.system, *result.student);
-    std::printf("%-10.0e %10.2f %12.4f %10.1f %12.1f\n", lambda,
+    std::printf("%-10.0e %10.2f %12.4f %10.1f %12s\n", lambda,
                 result.lipschitz, result.final_loss, 100.0 * clean.safe_rate,
-                clean.mean_energy);
+                core::format_energy(clean.mean_energy).c_str());
     csv.row({lambda, result.lipschitz, result.final_loss,
              100.0 * clean.safe_rate, clean.mean_energy});
   }

@@ -34,9 +34,10 @@ int main() {
         bench::evaluate_clean(*artifacts.system, *result.student);
     const auto attacked =
         bench::evaluate_attacked(*artifacts.system, *result.student);
-    std::printf("%-6.2f %10.2f %12.4f %10.1f %12.1f %14.1f\n", p,
+    std::printf("%-6.2f %10.2f %12.4f %10.1f %12.1f %14s\n", p,
                 result.lipschitz, result.final_loss, 100.0 * clean.safe_rate,
-                100.0 * attacked.safe_rate, attacked.mean_energy);
+                100.0 * attacked.safe_rate,
+                core::format_energy(attacked.mean_energy).c_str());
     csv.row({p, result.lipschitz, result.final_loss, 100.0 * clean.safe_rate,
              100.0 * attacked.safe_rate, attacked.mean_energy});
   }

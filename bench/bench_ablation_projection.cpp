@@ -35,9 +35,10 @@ int main() {
         bench::evaluate_clean(*artifacts.system, *result.student);
     const auto attacked =
         bench::evaluate_attacked(*artifacts.system, *result.student);
-    std::printf("%-22s %10.2f %12.4f %10.1f %12.1f %12.1f\n", label.c_str(),
+    std::printf("%-22s %10.2f %12.4f %10.1f %12.1f %12s\n", label.c_str(),
                 result.lipschitz, result.final_loss, 100.0 * clean.safe_rate,
-                100.0 * attacked.safe_rate, attacked.mean_energy);
+                100.0 * attacked.safe_rate,
+                core::format_energy(attacked.mean_energy).c_str());
     csv.row_text({label, util::format_number(result.lipschitz),
                   util::format_number(result.final_loss),
                   util::format_number(100.0 * clean.safe_rate),

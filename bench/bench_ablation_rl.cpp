@@ -23,8 +23,9 @@ int main() {
 
   auto report = [&](const std::string& label, const ctrl::Controller& c) {
     const auto clean = bench::evaluate_clean(*artifacts.system, c);
-    std::printf("%-14s %10.1f %12.1f\n", label.c_str(),
-                100.0 * clean.safe_rate, clean.mean_energy);
+    std::printf("%-14s %10.1f %12s\n", label.c_str(),
+                100.0 * clean.safe_rate,
+                core::format_energy(clean.mean_energy).c_str());
     csv.row_text({label, util::format_number(100.0 * clean.safe_rate),
                   util::format_number(clean.mean_energy)});
   };

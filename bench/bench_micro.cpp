@@ -14,6 +14,10 @@
 #include "core/rollout.h"
 #include "nn/loss.h"
 #include "nn/mlp.h"
+#include "point_mass_envs.h"
+#include "rl/ddpg.h"
+#include "rl/env.h"
+#include "rl/ppo.h"
 #include "sys/cartpole.h"
 #include "sys/threed.h"
 #include "sys/vanderpol.h"
@@ -214,6 +218,49 @@ void BM_ReachSweep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ReachSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Scaling of the PPO minibatch updates with worker count (Arg; 1 = serial).
+// Each iteration of the timed loop is one PPO training iteration — serial
+// on-policy collection plus update_epochs passes of parallel per-sample
+// gradient work (the hot path of the adaptive mixing learner).  Every Arg
+// trains bitwise-identical networks; only the wall-clock moves.
+void BM_PpoUpdate(benchmark::State& state) {
+  testutil::PointMassEnv env;
+  rl::PpoConfig config;
+  config.policy_hidden = {64, 64};
+  config.value_hidden = {64, 64};
+  config.steps_per_iteration = 512;
+  config.update_epochs = 6;
+  config.minibatch = 64;
+  config.num_workers = static_cast<int>(state.range(0));
+  rl::PpoGaussian ppo(config);
+  ppo.initialize(env);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ppo.run_iterations(env, 1));
+}
+BENCHMARK(BM_PpoUpdate)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Scaling of the DDPG critic/actor minibatch passes with worker count
+// (Arg; 1 = serial).  Each iteration runs one episode past warmup, i.e.
+// max_episode_steps env steps each followed by a full parallel update
+// (target pre-pass, critic regression, actor dQ/da).
+void BM_DdpgUpdate(benchmark::State& state) {
+  testutil::PointMassEnv env;
+  rl::DdpgConfig config;
+  config.actor_hidden = {64, 64};
+  config.critic_hidden = {64, 64};
+  config.batch_size = 64;
+  config.warmup_steps = 64;  // replay fills during the first episodes.
+  config.num_workers = static_cast<int>(state.range(0));
+  rl::Ddpg ddpg(config);
+  ddpg.initialize(env);
+  (void)ddpg.run_episodes(env, 4);  // past warmup: every step updates.
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ddpg.run_episodes(env, 1));
+}
+BENCHMARK(BM_DdpgUpdate)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace

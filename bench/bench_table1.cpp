@@ -34,9 +34,9 @@ int main() {
       const auto ci =
           core::wilson_interval(result.num_safe, result.num_total);
       const double lipschitz = controller->lipschitz_bound();
-      std::printf("%-8s %10.1f  [%5.1f, %5.1f] %12.1f %12s\n", label.c_str(),
+      std::printf("%-8s %10.1f  [%5.1f, %5.1f] %12s %12s\n", label.c_str(),
                   100.0 * result.safe_rate, 100.0 * ci.lo, 100.0 * ci.hi,
-                  result.mean_energy,
+                  core::format_energy(result.mean_energy).c_str(),
                   bench::format_lipschitz(lipschitz).c_str());
       csv.row_text({system_name, label,
                     util::format_number(100.0 * result.safe_rate),

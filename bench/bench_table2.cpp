@@ -36,9 +36,11 @@ int main() {
       const auto attacked =
           bench::evaluate_attacked(*artifacts.system, *controller);
       const auto noisy = bench::evaluate_noisy(*artifacts.system, *controller);
-      std::printf("%-6s | %10.1f %13.1f | %10.1f %13.1f\n", label.c_str(),
-                  100.0 * attacked.safe_rate, attacked.mean_energy,
-                  100.0 * noisy.safe_rate, noisy.mean_energy);
+      std::printf("%-6s | %10.1f %13s | %10.1f %13s\n", label.c_str(),
+                  100.0 * attacked.safe_rate,
+                  core::format_energy(attacked.mean_energy).c_str(),
+                  100.0 * noisy.safe_rate,
+                  core::format_energy(noisy.mean_energy).c_str());
       csv.row_text({system_name, label, "fgsm",
                     util::format_number(100.0 * attacked.safe_rate),
                     util::format_number(attacked.mean_energy)});

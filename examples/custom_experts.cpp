@@ -56,8 +56,8 @@ int main() {
   std::printf("\n%-16s %10s %12s\n", "controller", "Sr (%)", "energy");
   auto report = [&](const std::string& label, const ctrl::Controller& c) {
     const auto r = core::evaluate(*system, c, eval);
-    std::printf("%-16s %10.1f %12.2f\n", label.c_str(), 100.0 * r.safe_rate,
-                r.mean_energy);
+    std::printf("%-16s %10.1f %12s\n", label.c_str(), 100.0 * r.safe_rate,
+                core::format_energy(r.mean_energy).c_str());
   };
   report("lqr", *lqr);
   report("mpc", *mpc);

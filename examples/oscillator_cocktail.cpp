@@ -37,11 +37,13 @@ int main() {
     const auto r = core::evaluate(*system, *controller, eval);
     const double lip = controller->lipschitz_bound();
     if (lip >= 0.0)
-      std::printf("%-6s %10.1f %12.1f %12.2f\n", label.c_str(),
-                  100.0 * r.safe_rate, r.mean_energy, lip);
+      std::printf("%-6s %10.1f %12s %12.2f\n", label.c_str(),
+                  100.0 * r.safe_rate,
+                  core::format_energy(r.mean_energy).c_str(), lip);
     else
-      std::printf("%-6s %10.1f %12.1f %12s\n", label.c_str(),
-                  100.0 * r.safe_rate, r.mean_energy, "-");
+      std::printf("%-6s %10.1f %12s %12s\n", label.c_str(),
+                  100.0 * r.safe_rate,
+                  core::format_energy(r.mean_energy).c_str(), "-");
   }
 
   // --- Robustness under optimized attack (Table II flavour) ---
@@ -53,8 +55,9 @@ int main() {
     const auto& controller = label == "kD" ? artifacts.direct_student
                                            : artifacts.robust_student;
     const auto r = core::evaluate(*system, *controller, attacked);
-    std::printf("%-6s Sr = %5.1f%%   energy = %8.1f\n", label.c_str(),
-                100.0 * r.safe_rate, r.mean_energy);
+    std::printf("%-6s Sr = %5.1f%%   energy = %8s\n", label.c_str(),
+                100.0 * r.safe_rate,
+                core::format_energy(r.mean_energy).c_str());
   }
 
   // --- Formal verification: invariant set of the robust student ---

@@ -55,11 +55,13 @@ int main() {
     const auto r = core::evaluate(*system, c, eval);
     const double lip = c.lipschitz_bound();
     if (lip >= 0.0)
-      std::printf("%-22s %10.1f %12.1f %12.2f\n", label.c_str(),
-                  100.0 * r.safe_rate, r.mean_energy, lip);
+      std::printf("%-22s %10.1f %12s %12.2f\n", label.c_str(),
+                  100.0 * r.safe_rate,
+                  core::format_energy(r.mean_energy).c_str(), lip);
     else
-      std::printf("%-22s %10.1f %12.1f %12s\n", label.c_str(),
-                  100.0 * r.safe_rate, r.mean_energy, "-");
+      std::printf("%-22s %10.1f %12s %12s\n", label.c_str(),
+                  100.0 * r.safe_rate,
+                  core::format_energy(r.mean_energy).c_str(), "-");
   };
   report("expert k1", *experts[0]);
   report("expert k2", *experts[1]);

@@ -5,6 +5,7 @@
 
 #include "attack/fgsm.h"
 #include "core/rollout.h"
+#include "nn/grad_reduce.h"
 #include "nn/loss.h"
 #include "nn/mlp.h"
 #include "nn/optimizer.h"
@@ -115,16 +116,9 @@ DistillResult distill(const sys::System& system,
   constexpr std::size_t kSgdGrain = 8;
   constexpr std::size_t kLossGrain = 256;
 
-  // The chunk structure depends only on (minibatch size, grain), so the
-  // chunk accumulators are hoisted out of the hot loop and reused — no
-  // per-minibatch allocation, same reduction tree.
-  const std::size_t chunk_capacity =
-      (std::min(config.minibatch, data.size()) + kSgdGrain - 1) / kSgdGrain;
-  std::vector<nn::Gradients> chunk_grads;
-  chunk_grads.reserve(chunk_capacity);
-  for (std::size_t c = 0; c < chunk_capacity; ++c)
-    chunk_grads.push_back(student.zero_gradients());
-  nn::Gradients grads = student.zero_gradients();
+  nn::ChunkedGradReducer<nn::Gradients> reducer(
+      std::min(config.minibatch, data.size()), kSgdGrain,
+      [&] { return student.zero_gradients(); });
 
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     const auto perm = rng.permutation(data.size());
@@ -135,38 +129,25 @@ DistillResult distill(const sys::System& system,
       // Algorithm 1 line 12: one Bernoulli draw per update step decides
       // between direct distillation and adversarial training.
       const bool adversarial = rng.bernoulli(config.adversarial_prob);
-      const std::size_t count = end - start;
-      const std::size_t chunks = (count + kSgdGrain - 1) / kSgdGrain;
-      const auto run_chunk = [&](std::size_t c) {
-        nn::Gradients& acc = chunk_grads[c];
-        acc.zero();
-        const std::size_t hi = std::min(count, (c + 1) * kSgdGrain);
-        for (std::size_t k = c * kSgdGrain; k < hi; ++k) {
-          const std::size_t i = perm[start + k];
-          la::Vec input = data.states[i];
-          const la::Vec& target = targets[i];
-          if (adversarial) {
-            // Inner max (line 13): δ = Δ·sign(∇_s ℓ(κ*(s;q), u)).
-            const la::Vec pred = student.forward(input);
-            const la::Vec dl_dy = nn::mse_gradient(pred, target);
-            const la::Vec grad_s = student.input_gradient(input, dl_dy);
-            la::axpy(input, 1.0, attack::fgsm_delta(grad_s, delta_bound));
-          }
-          // Outer min (line 14): MSE on the (possibly perturbed) input.
-          nn::Mlp::Workspace ws;
-          const la::Vec pred = student.forward(input, ws);
-          la::Vec dl_dy = nn::mse_gradient(pred, target);
-          for (auto& g : dl_dy) g *= inv;
-          (void)student.backward(ws, dl_dy, acc);
-        }
-      };
-      if (workers.pool() == nullptr || chunks <= 1) {
-        for (std::size_t c = 0; c < chunks; ++c) run_chunk(c);
-      } else {
-        workers.pool()->parallel_for(chunks, run_chunk);
-      }
-      grads.zero();
-      for (std::size_t c = 0; c < chunks; ++c) grads.axpy(1.0, chunk_grads[c]);
+      nn::Gradients& grads = reducer.reduce(
+          workers.pool(), end - start, [&](nn::Gradients& acc, std::size_t k) {
+            const std::size_t i = perm[start + k];
+            la::Vec input = data.states[i];
+            const la::Vec& target = targets[i];
+            if (adversarial) {
+              // Inner max (line 13): δ = Δ·sign(∇_s ℓ(κ*(s;q), u)).
+              const la::Vec pred = student.forward(input);
+              const la::Vec dl_dy = nn::mse_gradient(pred, target);
+              const la::Vec grad_s = student.input_gradient(input, dl_dy);
+              la::axpy(input, 1.0, attack::fgsm_delta(grad_s, delta_bound));
+            }
+            // Outer min (line 14): MSE on the (possibly perturbed) input.
+            nn::Mlp::Workspace ws;
+            const la::Vec pred = student.forward(input, ws);
+            la::Vec dl_dy = nn::mse_gradient(pred, target);
+            for (auto& g : dl_dy) g *= inv;
+            (void)student.backward(ws, dl_dy, acc);
+          });
       if (config.lambda_l2 > 0.0)
         student.accumulate_l2_gradient(config.lambda_l2, grads);
       opt.step(student, grads);

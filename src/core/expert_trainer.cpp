@@ -1,5 +1,6 @@
 #include "core/expert_trainer.h"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "control/lqr_controller.h"
@@ -37,6 +38,7 @@ ctrl::ControllerPtr train_ddpg_expert(sys::SystemPtr system,
   EvalConfig eval;
   eval.num_initial_states = spec.eval_states;
   eval.seed = spec.eval_seed;
+  eval.num_workers = spec.ddpg.num_workers;
 
   // Train in chunks and keep the snapshot whose safe rate is *closest to
   // the target* — DDPG learning curves jump discontinuously (an expert can
@@ -57,10 +59,15 @@ ctrl::ControllerPtr train_ddpg_expert(sys::SystemPtr system,
     const EvalResult result = core::evaluate(*system, candidate, eval);
     const double distance =
         std::abs(result.safe_rate - spec.target_safe_rate);
+    // mean_energy is NaN when the snapshot kept nothing safe (EvalResult
+    // contract): such a snapshot never wins the energy tie-break, and any
+    // real energy displaces a NaN incumbent.
+    const bool energy_better =
+        !std::isnan(result.mean_energy) &&
+        (std::isnan(best_energy) || result.mean_energy < best_energy);
     const bool better =
         distance < best_distance - 1e-9 ||
-        (distance < best_distance + 1e-9 &&
-         result.mean_energy < best_energy);
+        (distance < best_distance + 1e-9 && energy_better);
     if (better) {
       best_distance = distance;
       best_sr = result.safe_rate;
@@ -188,10 +195,11 @@ std::vector<ExpertSpec> default_expert_specs(const std::string& system_name,
 
 std::vector<ctrl::ControllerPtr> load_or_train_experts(sys::SystemPtr system,
                                                        std::uint64_t seed,
-                                                       bool use_cache) {
+                                                       bool use_cache,
+                                                       int num_workers) {
   std::vector<ctrl::ControllerPtr> experts;
-  for (const ExpertSpec& spec :
-       default_expert_specs(system->name(), seed)) {
+  for (ExpertSpec spec : default_expert_specs(system->name(), seed)) {
+    spec.ddpg.num_workers = num_workers;
     const std::string path =
         expert_cache_path(system->name(), spec.label, seed);
     if (use_cache && util::file_exists(path)) {

@@ -57,7 +57,10 @@ struct ExpertSpec {
 
 /// Returns the system's two experts, loading from the model cache when
 /// possible and training + saving otherwise.  `cache_tag` keys the files.
+/// `num_workers` is the DdpgConfig worker knob applied to every spec
+/// (bitwise-identical experts for any value).
 [[nodiscard]] std::vector<ctrl::ControllerPtr> load_or_train_experts(
-    sys::SystemPtr system, std::uint64_t seed, bool use_cache = true);
+    sys::SystemPtr system, std::uint64_t seed, bool use_cache = true,
+    int num_workers = 0);
 
 }  // namespace cocktail::core

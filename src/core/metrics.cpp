@@ -1,5 +1,8 @@
 #include "core/metrics.h"
 
+#include <cmath>
+#include <cstdio>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -42,8 +45,20 @@ EvalResult summarize_rollouts(const std::vector<RolloutResult>& results,
   out.safe_rate = count == 0 ? 0.0
                              : static_cast<double>(out.num_safe) /
                                    static_cast<double>(count);
-  out.mean_energy = out.num_safe == 0 ? 0.0 : energy_sum / out.num_safe;
+  // Mean energy over *safe* trajectories is undefined when none is safe.
+  // NaN (not 0.0) keeps an all-unsafe candidate from masquerading as a
+  // zero-energy one — the same convention PairedOutcome::energy_a/b uses.
+  out.mean_energy = out.num_safe == 0
+                        ? std::numeric_limits<double>::quiet_NaN()
+                        : energy_sum / out.num_safe;
   return out;
+}
+
+std::string format_energy(double mean_energy) {
+  if (std::isnan(mean_energy)) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", mean_energy);
+  return buf;
 }
 
 double lipschitz_metric(const ctrl::Controller& controller) {

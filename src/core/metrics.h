@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
+#include <string>
 #include <vector>
 
 #include "attack/perturbation.h"
@@ -28,7 +30,12 @@ struct EvalConfig {
 
 struct EvalResult {
   double safe_rate = 0.0;     ///< Sr ∈ [0, 1].
-  double mean_energy = 0.0;   ///< e over safe trajectories (0 if none).
+  /// e over safe trajectories; NaN when num_safe == 0 (the mean is
+  /// undefined, and 0.0 would let an all-unsafe candidate pose as a
+  /// zero-energy one).  Same convention — and same NaN default for the
+  /// num_safe == 0 state a fresh struct starts in — as
+  /// PairedOutcome::energy_a/b.
+  double mean_energy = std::numeric_limits<double>::quiet_NaN();
   int num_safe = 0;
   int num_total = 0;
 };
@@ -49,5 +56,10 @@ struct EvalResult {
 /// Reports the controller's certified Lipschitz bound, or a negative value
 /// when unavailable (Table I prints "-").
 [[nodiscard]] double lipschitz_metric(const ctrl::Controller& controller);
+
+/// Table display of EvalResult::mean_energy (and PairedOutcome::energy_a/b):
+/// "-" when NaN (no safe trajectory to average over), 1-decimal fixed
+/// otherwise.  CSVs keep util::format_number, which spells NaN out as "nan".
+[[nodiscard]] std::string format_energy(double mean_energy);
 
 }  // namespace cocktail::core

@@ -1,0 +1,72 @@
+// Deterministic parallel accumulation of per-sample gradient work.
+//
+// Every SGD-style loop in the library (robust distillation, the PPO
+// surrogate/value passes, the DDPG critic/actor passes) has the same shape:
+// a minibatch of independent per-sample forward/backward contributions summed
+// into one parameter-shaped accumulator.  This helper runs that sum on the
+// util::chunked_reduce tree — fixed contiguous chunks, each folded in index
+// order into its own buffer, buffers merged in increasing chunk order — so
+// the bits are identical for any worker count, including the serial path.
+//
+// The per-chunk buffers are allocated once (sized for the largest minibatch)
+// and reused across reduce() calls: the hot loop does no per-minibatch
+// allocation, and reusing buffers cannot change results because every chunk
+// is zeroed before it accumulates.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace cocktail::nn {
+
+/// Reusable fixed-tree reduction over per-sample accumulators.  `Acc` must
+/// provide `zero()` and `axpy(double, const Acc&)` (nn::Gradients does;
+/// trainers compose structs of Gradients/la::Vec with the same interface).
+/// The grain is part of the reduction tree: changing it legitimately changes
+/// low-order bits, so it must stay fixed for reproducibility.
+template <class Acc>
+class ChunkedGradReducer {
+ public:
+  /// `max_count` is the largest sample count any reduce() call will see
+  /// (the minibatch size); `make` builds one zero-shaped accumulator.
+  template <class Make>
+  ChunkedGradReducer(std::size_t max_count, std::size_t grain, Make&& make)
+      : grain_(std::max<std::size_t>(grain, 1)), total_(make()) {
+    const std::size_t capacity = (max_count + grain_ - 1) / grain_;
+    chunks_.reserve(capacity);
+    for (std::size_t c = 0; c < capacity; ++c) chunks_.push_back(make());
+  }
+
+  /// Folds body(acc, k) for k in [0, count) on `pool` (nullptr = serial,
+  /// identical tree) and returns the merged total, valid until the next
+  /// reduce() call.  `body` must only read shared state and write `acc`.
+  template <class Body>
+  Acc& reduce(util::ThreadPool* pool, std::size_t count, const Body& body) {
+    const std::size_t chunks = (count + grain_ - 1) / grain_;
+    if (chunks > chunks_.size())
+      throw std::invalid_argument(
+          "ChunkedGradReducer::reduce: count exceeds max_count");
+    util::run_chunks(pool, chunks, [&](std::size_t c) {
+      Acc& acc = chunks_[c];
+      acc.zero();
+      const std::size_t hi = std::min(count, (c + 1) * grain_);
+      for (std::size_t k = c * grain_; k < hi; ++k) body(acc, k);
+    });
+    total_.zero();
+    for (std::size_t c = 0; c < chunks; ++c) total_.axpy(1.0, chunks_[c]);
+    return total_;
+  }
+
+  [[nodiscard]] std::size_t grain() const noexcept { return grain_; }
+
+ private:
+  std::size_t grain_;
+  std::vector<Acc> chunks_;
+  Acc total_;
+};
+
+}  // namespace cocktail::nn

@@ -3,6 +3,13 @@
 // Drives the switching baseline AS: the action is *which expert* controls
 // the plant this sampling period — exactly the discrete adaptation space of
 // [4] that the paper's mixing action space strictly contains.
+//
+// Concurrency contract: PpoCategorical::update fans the per-sample gradient
+// work across the pool, so every const method here (probabilities,
+// log_prob, kl_from, the accumulate_* family) runs concurrently from chunk
+// workers.  They must stay free of hidden mutable state — each call owns
+// its Mlp::Workspace and writes only through the caller-provided
+// accumulators.
 #pragma once
 
 #include <cstdint>

@@ -10,10 +10,22 @@
 #include "util/logging.h"
 
 namespace cocktail::rl {
+namespace {
+
+/// Chunk grain of the per-sample gradient reduction inside one minibatch
+/// update (critic regression pass, actor dQ/da pass, and the target-value
+/// pre-pass).  Part of the fixed reduction tree: changing it changes
+/// low-order bits.
+constexpr std::size_t kGradGrain = 8;
+
+}  // namespace
 
 double DdpgStats::final_return_mean(std::size_t window) const {
   if (episode_returns.empty()) return 0.0;
-  const std::size_t n = std::min(window, episode_returns.size());
+  // window == 0 would divide by zero below; the smallest meaningful window
+  // is the last episode alone.
+  const std::size_t n =
+      std::min(std::max<std::size_t>(window, 1), episode_returns.size());
   double sum = 0.0;
   for (std::size_t i = episode_returns.size() - n; i < episode_returns.size();
        ++i)
@@ -55,6 +67,12 @@ void Ddpg::initialize(Env& env) {
   build_networks(env.state_dim(), env.action_dim());
   actor_opt_ = std::make_unique<nn::Adam>(config_.actor_lr);
   critic_opt_ = std::make_unique<nn::Adam>(config_.critic_lr);
+  workers_ = std::make_unique<util::WorkerScope>(config_.num_workers);
+  critic_reducer_ = std::make_unique<nn::ChunkedGradReducer<nn::Gradients>>(
+      config_.batch_size, kGradGrain, [&] { return critic_.zero_gradients(); });
+  actor_reducer_ = std::make_unique<nn::ChunkedGradReducer<nn::Gradients>>(
+      config_.batch_size, kGradGrain, [&] { return actor_.zero_gradients(); });
+  targets_.assign(config_.batch_size, 0.0);
   buffer_ = std::make_unique<ReplayBuffer>(config_.replay_capacity);
   noise_ = std::make_unique<OuNoise>(env.action_dim(), config_.ou_theta,
                                      config_.ou_sigma);
@@ -108,10 +126,15 @@ DdpgStats Ddpg::train(Env& env) {
 void Ddpg::update(ReplayBuffer& buffer, util::Rng& rng) {
   const auto batch = buffer.sample(config_.batch_size, rng);
   const double inv_batch = 1.0 / static_cast<double>(batch.size());
+  util::ThreadPool* pool = workers_->pool();
 
-  // --- Critic: regress Q(s,a) onto r + gamma * Q'(s', mu'(s')). ---
-  nn::Gradients critic_grads = critic_.zero_gradients();
-  for (const Transition* tr : batch) {
+  // --- Target pre-pass: y_i = r + gamma * Q'(s', mu'(s')). ---
+  // Batched up front so the critic chunk workers below touch only frozen
+  // read-only inputs (targets, transitions, network weights) plus their
+  // private gradient buffers.  Disjoint per-slot writes: worker-count
+  // independent by construction.
+  util::chunked_for(pool, batch.size(), kGradGrain, [&](std::size_t i) {
+    const Transition* tr = batch[i];
     double target = tr->reward;
     if (!tr->terminal) {
       const la::Vec a_next = target_actor_.forward(tr->next_state);
@@ -119,29 +142,41 @@ void Ddpg::update(ReplayBuffer& buffer, util::Rng& rng) {
           target_critic_.forward(la::concat(tr->next_state, a_next));
       target += config_.gamma * q_next[0];
     }
-    nn::Mlp::Workspace ws;
-    const la::Vec q = critic_.forward(la::concat(tr->state, tr->action), ws);
-    const la::Vec dl = {inv_batch * 2.0 * (q[0] - target)};
-    (void)critic_.backward(ws, dl, critic_grads);
-  }
+    targets_[i] = target;
+  });
+
+  // --- Critic: regress Q(s,a) onto the precomputed targets. ---
+  nn::Gradients& critic_grads = critic_reducer_->reduce(
+      pool, batch.size(), [&](nn::Gradients& acc, std::size_t i) {
+        const Transition* tr = batch[i];
+        nn::Mlp::Workspace ws;
+        const la::Vec q =
+            critic_.forward(la::concat(tr->state, tr->action), ws);
+        const la::Vec dl = {inv_batch * 2.0 * (q[0] - targets_[i])};
+        (void)critic_.backward(ws, dl, acc);
+      });
   critic_grads.clip_norm(config_.grad_clip);
   critic_opt_->step(critic_, critic_grads);
 
   // --- Actor: ascend Q(s, mu(s)) through the critic's action input. ---
-  nn::Gradients actor_grads = actor_.zero_gradients();
+  // Runs after the critic step (sequential dependency preserved); within
+  // the pass every sample reads the same frozen critic.
   const std::size_t state_dim = actor_.input_dim();
-  for (const Transition* tr : batch) {
-    nn::Mlp::Workspace actor_ws;
-    const la::Vec a = actor_.forward(tr->state, actor_ws);
-    // dQ/d[s;a] via the critic input gradient; keep the action slice.
-    const la::Vec dq_dinput =
-        critic_.input_gradient(la::concat(tr->state, a), {1.0});
-    la::Vec dq_da(dq_dinput.begin() + static_cast<std::ptrdiff_t>(state_dim),
-                  dq_dinput.end());
-    // Gradient *descent* on -Q: dl/da = -dQ/da, averaged over the batch.
-    for (auto& v : dq_da) v *= -inv_batch;
-    (void)actor_.backward(actor_ws, dq_da, actor_grads);
-  }
+  nn::Gradients& actor_grads = actor_reducer_->reduce(
+      pool, batch.size(), [&](nn::Gradients& acc, std::size_t i) {
+        const Transition* tr = batch[i];
+        nn::Mlp::Workspace actor_ws;
+        const la::Vec a = actor_.forward(tr->state, actor_ws);
+        // dQ/d[s;a] via the critic input gradient; keep the action slice.
+        const la::Vec dq_dinput =
+            critic_.input_gradient(la::concat(tr->state, a), {1.0});
+        la::Vec dq_da(
+            dq_dinput.begin() + static_cast<std::ptrdiff_t>(state_dim),
+            dq_dinput.end());
+        // Gradient *descent* on -Q: dl/da = -dQ/da, averaged over the batch.
+        for (auto& v : dq_da) v *= -inv_batch;
+        (void)actor_.backward(actor_ws, dq_da, acc);
+      });
   actor_grads.clip_norm(config_.grad_clip);
   actor_opt_->step(actor_, actor_grads);
 

@@ -11,11 +11,13 @@
 #include <memory>
 #include <vector>
 
+#include "nn/grad_reduce.h"
 #include "nn/mlp.h"
 #include "nn/optimizer.h"
 #include "rl/env.h"
 #include "rl/noise.h"
 #include "rl/replay_buffer.h"
+#include "util/thread_pool.h"
 
 namespace cocktail::rl {
 
@@ -35,10 +37,17 @@ struct DdpgConfig {
   double noise_decay = 0.995;   ///< per-episode exploration decay.
   double grad_clip = 5.0;
   std::uint64_t seed = 1;
+  /// Worker count for the per-sample gradient work inside one minibatch
+  /// update (util::WorkerScope convention: 0 = shared pool, 1 = serial,
+  /// k > 1 = dedicated pool).  Training is bitwise identical for any value:
+  /// per-chunk gradient buffers merge on the fixed chunked-reduce tree.
+  int num_workers = 0;
 };
 
 struct DdpgStats {
   std::vector<double> episode_returns;
+  /// Mean return over the last `window` episodes (0 if none were run).
+  /// `window` is clamped to >= 1 — it can never divide by zero.
   [[nodiscard]] double final_return_mean(std::size_t window = 10) const;
 };
 
@@ -81,6 +90,13 @@ class Ddpg {
   std::unique_ptr<ReplayBuffer> buffer_;
   std::unique_ptr<OuNoise> noise_;
   std::unique_ptr<util::Rng> rng_;
+  // Parallel minibatch machinery, resolved once at initialize(): update()
+  // runs on every env step, so the worker scope and the per-chunk gradient
+  // buffers are hoisted out of the hot path.
+  std::unique_ptr<util::WorkerScope> workers_;
+  std::unique_ptr<nn::ChunkedGradReducer<nn::Gradients>> critic_reducer_;
+  std::unique_ptr<nn::ChunkedGradReducer<nn::Gradients>> actor_reducer_;
+  std::vector<double> targets_;  ///< per-sample critic regression targets.
   std::size_t total_steps_ = 0;
   int episodes_done_ = 0;
   double sigma_ = 0.0;

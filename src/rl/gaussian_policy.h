@@ -6,6 +6,12 @@
 // needs: sampling with log-probabilities, analytic gradients of log π and
 // of the diagonal-Gaussian KL divergence used in the paper's penalized
 // surrogate objective.
+//
+// Concurrency contract: PpoGaussian::update fans the per-sample gradient
+// work across the pool, so every const method here (mean, log_prob,
+// kl_from, the accumulate_* family) runs concurrently from chunk workers.
+// They must stay free of hidden mutable state — each call owns its
+// Mlp::Workspace and writes only through the caller-provided accumulators.
 #pragma once
 
 #include <cstdint>

@@ -5,6 +5,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "nn/grad_reduce.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "util/logging.h"
@@ -14,6 +15,46 @@ namespace {
 
 constexpr double kLogStdMin = -4.0;
 constexpr double kLogStdMax = 1.0;
+
+/// Chunk grain of the per-sample gradient reduction inside one minibatch
+/// update, and of the batch-wide KL mean.  Part of the fixed reduction tree
+/// (see util::chunked_reduce): changing either changes low-order bits.
+constexpr std::size_t kGradGrain = 8;
+constexpr std::size_t kKlGrain = 256;
+
+/// Per-chunk accumulator of the Gaussian PPO minibatch: mean-net gradients,
+/// log-std gradients, and value-net gradients, merged in fixed chunk order.
+struct GaussianMinibatchGrads {
+  nn::Gradients policy;
+  la::Vec log_std;
+  nn::Gradients value;
+
+  void zero() {
+    policy.zero();
+    std::fill(log_std.begin(), log_std.end(), 0.0);
+    value.zero();
+  }
+  void axpy(double k, const GaussianMinibatchGrads& other) {
+    policy.axpy(k, other.policy);
+    la::axpy(log_std, k, other.log_std);
+    value.axpy(k, other.value);
+  }
+};
+
+/// Categorical equivalent: logits-net and value-net gradients.
+struct CategoricalMinibatchGrads {
+  nn::Gradients policy;
+  nn::Gradients value;
+
+  void zero() {
+    policy.zero();
+    value.zero();
+  }
+  void axpy(double k, const CategoricalMinibatchGrads& other) {
+    policy.axpy(k, other.policy);
+    value.axpy(k, other.value);
+  }
+};
 
 void clamp_log_std(la::Vec& log_std) {
   for (auto& v : log_std) v = std::clamp(v, kLogStdMin, kLogStdMax);
@@ -36,7 +77,10 @@ void adapt_beta(double& beta, double observed_kl, double target) {
 
 double PpoStats::final_return_mean(std::size_t window) const {
   if (iteration_mean_returns.empty()) return 0.0;
-  const std::size_t n = std::min(window, iteration_mean_returns.size());
+  // window == 0 would divide by zero below; the smallest meaningful window
+  // is the last iteration alone.
+  const std::size_t n =
+      std::min(std::max<std::size_t>(window, 1), iteration_mean_returns.size());
   double sum = 0.0;
   for (std::size_t i = iteration_mean_returns.size() - n;
        i < iteration_mean_returns.size(); ++i)
@@ -57,6 +101,10 @@ nn::Mlp PpoGaussian::take_mean_net() {
 RolloutBatch PpoGaussian::collect(Env& env, util::Rng& rng) {
   RolloutBatch batch;
   la::Vec s = env.reset(rng);
+  // Carry V(s) across steps: while the episode continues, next_values[t]
+  // and values[t+1] are the same forward on the same state, so the cached
+  // value is bitwise identical and halves the value forwards.
+  double value_s = value_net_.forward(s)[0];
   int episode_step = 0;
   while (static_cast<int>(batch.size()) < config_.steps_per_iteration) {
     const auto sample = policy_->sample(s, rng);
@@ -65,19 +113,22 @@ RolloutBatch PpoGaussian::collect(Env& env, util::Rng& rng) {
     ++episode_step;
     const bool time_limit =
         episode_step >= env.max_episode_steps() && !result.terminal;
+    const double value_next = value_net_.forward(result.next_state)[0];
     batch.states.push_back(s);
     batch.actions.push_back(sample.action);
     batch.rewards.push_back(result.reward);
-    batch.values.push_back(value_net_.forward(s)[0]);
-    batch.next_values.push_back(value_net_.forward(result.next_state)[0]);
+    batch.values.push_back(value_s);
+    batch.next_values.push_back(value_next);
     batch.log_probs.push_back(sample.log_prob);
     batch.terminal.push_back(result.terminal);
     batch.truncated.push_back(time_limit);
     if (result.terminal || time_limit) {
       s = env.reset(rng);
+      value_s = value_net_.forward(s)[0];
       episode_step = 0;
     } else {
       s = result.next_state;
+      value_s = value_next;
     }
   }
   return batch;
@@ -85,68 +136,90 @@ RolloutBatch PpoGaussian::collect(Env& env, util::Rng& rng) {
 
 double PpoGaussian::update(const RolloutBatch& batch,
                            const AdvantageResult& adv, util::Rng& rng) {
-  // Freeze pi_old: means and stds at collection time.
+  util::ThreadPool* pool = workers_->pool();
+  // Freeze pi_old: means and stds at collection time.  Frozen per-minibatch
+  // inputs (mu_old, std_old, adv.advantages, adv.returns) are read-only
+  // below, so chunk workers touch only shared immutable state plus their
+  // private gradient buffers.
   std::vector<la::Vec> mu_old(batch.size());
-  for (std::size_t i = 0; i < batch.size(); ++i)
+  util::chunked_for(pool, batch.size(), kKlGrain, [&](std::size_t i) {
     mu_old[i] = policy_->mean(batch.states[i]);
+  });
   const la::Vec std_old = policy_->stddev();
 
   nn::Adam* policy_opt = policy_opt_.get();
   nn::Adam* value_opt = value_opt_.get();
   nn::AdamVec* log_std_opt = log_std_opt_.get();
 
-  double observed_kl = 0.0;
+  // One reducer per update(), reused by every minibatch of every epoch
+  // below (update_epochs * batch/minibatch reduces amortize the buffer
+  // allocation); update() itself runs once per training iteration.
+  nn::ChunkedGradReducer<GaussianMinibatchGrads> reducer(
+      std::min(config_.minibatch, batch.size()), kGradGrain, [&] {
+        return GaussianMinibatchGrads{policy_->mean_net().zero_gradients(),
+                                      la::zeros(policy_->log_std().size()),
+                                      value_net_.zero_gradients()};
+      });
+
   for (int epoch = 0; epoch < config_.update_epochs; ++epoch) {
     const auto perm = rng.permutation(batch.size());
     for (std::size_t start = 0; start < perm.size();
          start += config_.minibatch) {
       const std::size_t end = std::min(start + config_.minibatch, perm.size());
       const double inv = 1.0 / static_cast<double>(end - start);
-      nn::Gradients policy_grads = policy_->mean_net().zero_gradients();
-      la::Vec log_std_grads = la::zeros(policy_->log_std().size());
-      nn::Gradients value_grads = value_net_.zero_gradients();
-      for (std::size_t k = start; k < end; ++k) {
-        const std::size_t i = perm[k];
-        const la::Vec& s = batch.states[i];
-        const la::Vec& a = batch.actions[i];
-        const double advantage = adv.advantages[i];
-        const double ratio =
-            std::exp(policy_->log_prob(s, a) - batch.log_probs[i]);
-        // Surrogate coefficient: d/dθ of ratio·Â is ratio·Â·dlogπ.  With
-        // clipping enabled the gradient vanishes outside the trust region
-        // (standard PPO-clip behaviour).
-        double coef = ratio * advantage;
-        if (config_.use_clip) {
-          const bool outside =
-              (advantage > 0.0 && ratio > 1.0 + config_.clip_epsilon) ||
-              (advantage < 0.0 && ratio < 1.0 - config_.clip_epsilon);
-          if (outside) coef = 0.0;
-        }
-        policy_->accumulate_log_prob_gradient(s, a, coef * inv, policy_grads,
-                                              log_std_grads);
-        policy_->accumulate_kl_gradient(mu_old[i], std_old, s,
-                                        config_.kl_penalty_beta * inv,
-                                        policy_grads, log_std_grads);
-        if (config_.entropy_coef > 0.0)
-          policy_->accumulate_entropy_gradient(config_.entropy_coef * inv,
-                                               log_std_grads);
-        // Value regression toward the GAE return.
-        nn::Mlp::Workspace ws;
-        const la::Vec v = value_net_.forward(s, ws);
-        const la::Vec dl = {inv * 2.0 * (v[0] - adv.returns[i])};
-        (void)value_net_.backward(ws, dl, value_grads);
-      }
-      policy_grads.clip_norm(config_.grad_clip);
-      value_grads.clip_norm(config_.grad_clip);
-      policy_opt->step(policy_->mean_net(), policy_grads);
-      log_std_opt->step(policy_->log_std(), log_std_grads);
+      // The per-sample surrogate/KL/entropy/value gradients have no
+      // sequential dependency within the minibatch, so they fan across the
+      // pool on the fixed chunked-reduce tree (bitwise identical for any
+      // worker count).
+      GaussianMinibatchGrads& grads =
+          reducer.reduce(pool, end - start, [&](GaussianMinibatchGrads& acc,
+                                                std::size_t k) {
+            const std::size_t i = perm[start + k];
+            const la::Vec& s = batch.states[i];
+            const la::Vec& a = batch.actions[i];
+            const double advantage = adv.advantages[i];
+            const double ratio =
+                std::exp(policy_->log_prob(s, a) - batch.log_probs[i]);
+            // Surrogate coefficient: d/dθ of ratio·Â is ratio·Â·dlogπ.  With
+            // clipping enabled the gradient vanishes outside the trust region
+            // (standard PPO-clip behaviour).
+            double coef = ratio * advantage;
+            if (config_.use_clip) {
+              const bool outside =
+                  (advantage > 0.0 && ratio > 1.0 + config_.clip_epsilon) ||
+                  (advantage < 0.0 && ratio < 1.0 - config_.clip_epsilon);
+              if (outside) coef = 0.0;
+            }
+            policy_->accumulate_log_prob_gradient(s, a, coef * inv, acc.policy,
+                                                  acc.log_std);
+            policy_->accumulate_kl_gradient(mu_old[i], std_old, s,
+                                            config_.kl_penalty_beta * inv,
+                                            acc.policy, acc.log_std);
+            if (config_.entropy_coef > 0.0)
+              policy_->accumulate_entropy_gradient(config_.entropy_coef * inv,
+                                                   acc.log_std);
+            // Value regression toward the GAE return.
+            nn::Mlp::Workspace ws;
+            const la::Vec v = value_net_.forward(s, ws);
+            const la::Vec dl = {inv * 2.0 * (v[0] - adv.returns[i])};
+            (void)value_net_.backward(ws, dl, acc.value);
+          });
+      grads.policy.clip_norm(config_.grad_clip);
+      grads.value.clip_norm(config_.grad_clip);
+      policy_opt->step(policy_->mean_net(), grads.policy);
+      log_std_opt->step(policy_->log_std(), grads.log_std);
       clamp_log_std(policy_->log_std());
-      value_opt->step(value_net_, value_grads);
+      value_opt->step(value_net_, grads.value);
     }
   }
-  // Mean KL over the batch after the updates (for β adaptation).
-  for (std::size_t i = 0; i < batch.size(); ++i)
-    observed_kl += policy_->kl_from(mu_old[i], std_old, batch.states[i]);
+  // Mean KL over the batch after the updates (for β adaptation); the same
+  // fixed-order reduction keeps the sum identical for any worker count.
+  double observed_kl = util::chunked_reduce(
+      pool, batch.size(), kKlGrain, [] { return 0.0; },
+      [&](double& acc, std::size_t i) {
+        acc += policy_->kl_from(mu_old[i], std_old, batch.states[i]);
+      },
+      [](double& into, const double& from) { into += from; });
   observed_kl /= static_cast<double>(batch.size());
   adapt_beta(config_.kl_penalty_beta, observed_kl, config_.kl_target);
   return observed_kl;
@@ -163,6 +236,7 @@ void PpoGaussian::initialize(Env& env) {
   policy_opt_ = std::make_unique<nn::Adam>(config_.policy_lr);
   value_opt_ = std::make_unique<nn::Adam>(config_.value_lr);
   log_std_opt_ = std::make_unique<nn::AdamVec>(config_.policy_lr);
+  workers_ = std::make_unique<util::WorkerScope>(config_.num_workers);
   iterations_done_ = 0;
 }
 
@@ -212,6 +286,9 @@ nn::Mlp PpoCategorical::take_logits_net() {
 RolloutBatch PpoCategorical::collect(Env& env, util::Rng& rng) {
   RolloutBatch batch;
   la::Vec s = env.reset(rng);
+  // Same cached-value carry as PpoGaussian::collect (bitwise identical,
+  // half the value forwards).
+  double value_s = value_net_.forward(s)[0];
   int episode_step = 0;
   while (static_cast<int>(batch.size()) < config_.steps_per_iteration) {
     const auto sample = policy_->sample(s, rng);
@@ -220,19 +297,22 @@ RolloutBatch PpoCategorical::collect(Env& env, util::Rng& rng) {
     ++episode_step;
     const bool time_limit =
         episode_step >= env.max_episode_steps() && !result.terminal;
+    const double value_next = value_net_.forward(result.next_state)[0];
     batch.states.push_back(s);
     batch.discrete_actions.push_back(sample.action);
     batch.rewards.push_back(result.reward);
-    batch.values.push_back(value_net_.forward(s)[0]);
-    batch.next_values.push_back(value_net_.forward(result.next_state)[0]);
+    batch.values.push_back(value_s);
+    batch.next_values.push_back(value_next);
     batch.log_probs.push_back(sample.log_prob);
     batch.terminal.push_back(result.terminal);
     batch.truncated.push_back(time_limit);
     if (result.terminal || time_limit) {
       s = env.reset(rng);
+      value_s = value_net_.forward(s)[0];
       episode_step = 0;
     } else {
       s = result.next_state;
+      value_s = value_next;
     }
   }
   return batch;
@@ -240,50 +320,63 @@ RolloutBatch PpoCategorical::collect(Env& env, util::Rng& rng) {
 
 double PpoCategorical::update(const RolloutBatch& batch,
                               const AdvantageResult& adv, util::Rng& rng) {
+  util::ThreadPool* pool = workers_->pool();
+  // Frozen pi_old probabilities: read-only for the chunk workers below.
   std::vector<la::Vec> probs_old(batch.size());
-  for (std::size_t i = 0; i < batch.size(); ++i)
+  util::chunked_for(pool, batch.size(), kKlGrain, [&](std::size_t i) {
     probs_old[i] = policy_->probabilities(batch.states[i]);
+  });
 
-  double observed_kl = 0.0;
+  nn::ChunkedGradReducer<CategoricalMinibatchGrads> reducer(
+      std::min(config_.minibatch, batch.size()), kGradGrain, [&] {
+        return CategoricalMinibatchGrads{policy_->logits_net().zero_gradients(),
+                                         value_net_.zero_gradients()};
+      });
+
   for (int epoch = 0; epoch < config_.update_epochs; ++epoch) {
     const auto perm = rng.permutation(batch.size());
     for (std::size_t start = 0; start < perm.size();
          start += config_.minibatch) {
       const std::size_t end = std::min(start + config_.minibatch, perm.size());
       const double inv = 1.0 / static_cast<double>(end - start);
-      nn::Gradients policy_grads = policy_->logits_net().zero_gradients();
-      nn::Gradients value_grads = value_net_.zero_gradients();
-      for (std::size_t k = start; k < end; ++k) {
-        const std::size_t i = perm[k];
-        const la::Vec& s = batch.states[i];
-        const std::size_t a = batch.discrete_actions[i];
-        const double advantage = adv.advantages[i];
-        const double ratio =
-            std::exp(policy_->log_prob(s, a) - batch.log_probs[i]);
-        double coef = ratio * advantage;
-        if (config_.use_clip) {
-          const bool outside =
-              (advantage > 0.0 && ratio > 1.0 + config_.clip_epsilon) ||
-              (advantage < 0.0 && ratio < 1.0 - config_.clip_epsilon);
-          if (outside) coef = 0.0;
-        }
-        policy_->accumulate_log_prob_gradient(s, a, coef * inv, policy_grads);
-        policy_->accumulate_kl_gradient(probs_old[i], s,
-                                        config_.kl_penalty_beta * inv,
-                                        policy_grads);
-        nn::Mlp::Workspace ws;
-        const la::Vec v = value_net_.forward(s, ws);
-        const la::Vec dl = {inv * 2.0 * (v[0] - adv.returns[i])};
-        (void)value_net_.backward(ws, dl, value_grads);
-      }
-      policy_grads.clip_norm(config_.grad_clip);
-      value_grads.clip_norm(config_.grad_clip);
-      policy_opt_->step(policy_->logits_net(), policy_grads);
-      value_opt_->step(value_net_, value_grads);
+      CategoricalMinibatchGrads& grads = reducer.reduce(
+          pool, end - start,
+          [&](CategoricalMinibatchGrads& acc, std::size_t k) {
+            const std::size_t i = perm[start + k];
+            const la::Vec& s = batch.states[i];
+            const std::size_t a = batch.discrete_actions[i];
+            const double advantage = adv.advantages[i];
+            const double ratio =
+                std::exp(policy_->log_prob(s, a) - batch.log_probs[i]);
+            double coef = ratio * advantage;
+            if (config_.use_clip) {
+              const bool outside =
+                  (advantage > 0.0 && ratio > 1.0 + config_.clip_epsilon) ||
+                  (advantage < 0.0 && ratio < 1.0 - config_.clip_epsilon);
+              if (outside) coef = 0.0;
+            }
+            policy_->accumulate_log_prob_gradient(s, a, coef * inv,
+                                                  acc.policy);
+            policy_->accumulate_kl_gradient(probs_old[i], s,
+                                            config_.kl_penalty_beta * inv,
+                                            acc.policy);
+            nn::Mlp::Workspace ws;
+            const la::Vec v = value_net_.forward(s, ws);
+            const la::Vec dl = {inv * 2.0 * (v[0] - adv.returns[i])};
+            (void)value_net_.backward(ws, dl, acc.value);
+          });
+      grads.policy.clip_norm(config_.grad_clip);
+      grads.value.clip_norm(config_.grad_clip);
+      policy_opt_->step(policy_->logits_net(), grads.policy);
+      value_opt_->step(value_net_, grads.value);
     }
   }
-  for (std::size_t i = 0; i < batch.size(); ++i)
-    observed_kl += policy_->kl_from(probs_old[i], batch.states[i]);
+  double observed_kl = util::chunked_reduce(
+      pool, batch.size(), kKlGrain, [] { return 0.0; },
+      [&](double& acc, std::size_t i) {
+        acc += policy_->kl_from(probs_old[i], batch.states[i]);
+      },
+      [](double& into, const double& from) { into += from; });
   observed_kl /= static_cast<double>(batch.size());
   adapt_beta(config_.kl_penalty_beta, observed_kl, config_.kl_target);
   return observed_kl;
@@ -299,6 +392,7 @@ void PpoCategorical::initialize(Env& env) {
                              util::derive_seed(config_.seed, 402));
   policy_opt_ = std::make_unique<nn::Adam>(config_.policy_lr);
   value_opt_ = std::make_unique<nn::Adam>(config_.value_lr);
+  workers_ = std::make_unique<util::WorkerScope>(config_.num_workers);
   iterations_done_ = 0;
 }
 

@@ -21,6 +21,7 @@
 #include "rl/env.h"
 #include "rl/gae.h"
 #include "rl/gaussian_policy.h"
+#include "util/thread_pool.h"
 
 namespace cocktail::rl {
 
@@ -43,11 +44,18 @@ struct PpoConfig {
   double initial_std = 0.5;     ///< Gaussian exploration std (continuous).
   double grad_clip = 5.0;
   std::uint64_t seed = 2;
+  /// Worker count for the per-sample gradient work inside one minibatch
+  /// update (util::WorkerScope convention: 0 = shared pool, 1 = serial,
+  /// k > 1 = dedicated pool).  Training is bitwise identical for any value:
+  /// per-chunk gradient buffers merge on the fixed chunked-reduce tree.
+  int num_workers = 0;
 };
 
 struct PpoStats {
   std::vector<double> iteration_mean_returns;  ///< mean episode return.
   std::vector<double> iteration_kls;           ///< mean KL after updates.
+  /// Mean return over the last `window` iterations (0 if none were run).
+  /// `window` is clamped to >= 1 — it can never divide by zero.
   [[nodiscard]] double final_return_mean(std::size_t window = 5) const;
 };
 
@@ -86,6 +94,7 @@ class PpoGaussian {
   std::unique_ptr<nn::Adam> policy_opt_, value_opt_;
   std::unique_ptr<nn::AdamVec> log_std_opt_;
   std::unique_ptr<util::Rng> rng_;
+  std::unique_ptr<util::WorkerScope> workers_;  ///< resolved num_workers.
   int iterations_done_ = 0;
   std::function<void(int, double)> progress_;
 };
@@ -115,6 +124,7 @@ class PpoCategorical {
   nn::Mlp value_net_;
   std::unique_ptr<nn::Adam> policy_opt_, value_opt_;
   std::unique_ptr<util::Rng> rng_;
+  std::unique_ptr<util::WorkerScope> workers_;  ///< resolved num_workers.
   int iterations_done_ = 0;
   std::function<void(int, double)> progress_;
 };

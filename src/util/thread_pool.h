@@ -96,6 +96,21 @@ class ThreadPool {
 // chunked tree inline.  Changing `grain` changes the tree and is the one
 // knob that legitimately changes low-order bits.
 
+/// The one dispatch rule shared by every chunked runner (chunked_reduce,
+/// chunked_for, nn::ChunkedGradReducer): run chunk indices [0, chunks)
+/// serially when there is no pool or only one chunk, on the pool otherwise.
+/// Centralized so a future change (serial-fallback threshold, nested-pool
+/// guard) cannot diverge between reducers.
+template <class RunChunk>
+void run_chunks(ThreadPool* pool, std::size_t chunks,
+                const RunChunk& run_chunk) {
+  if (pool == nullptr || chunks <= 1) {
+    for (std::size_t c = 0; c < chunks; ++c) run_chunk(c);
+  } else {
+    pool->parallel_for(chunks, run_chunk);
+  }
+}
+
 /// Runs the recipe above on `pool` (nullptr = serial, same tree).  `body`
 /// must not touch shared mutable state; exceptions propagate per
 /// ThreadPool::parallel_for semantics.
@@ -110,16 +125,11 @@ auto chunked_reduce(ThreadPool* pool, std::size_t n, std::size_t grain,
   std::vector<Acc> partial;
   partial.reserve(chunks);
   for (std::size_t c = 0; c < chunks; ++c) partial.push_back(make());
-  const auto run_chunk = [&](std::size_t c) {
+  run_chunks(pool, chunks, [&](std::size_t c) {
     Acc& acc = partial[c];
     const std::size_t hi = std::min(n, (c + 1) * grain);
     for (std::size_t i = c * grain; i < hi; ++i) body(acc, i);
-  };
-  if (pool == nullptr || chunks <= 1) {
-    for (std::size_t c = 0; c < chunks; ++c) run_chunk(c);
-  } else {
-    pool->parallel_for(chunks, run_chunk);
-  }
+  });
   Acc result = std::move(partial.front());
   for (std::size_t c = 1; c < chunks; ++c) merge(result, partial[c]);
   return result;
@@ -131,6 +141,22 @@ auto ThreadPool::parallel_reduce(std::size_t n, std::size_t grain, Make&& make,
     -> std::invoke_result_t<Make&> {
   return chunked_reduce(this, n, grain, std::forward<Make>(make),
                         std::forward<Body>(body), std::forward<Merge>(merge));
+}
+
+/// Runs body(i) for i in [0, n) in fixed contiguous chunks of `grain`
+/// indices on `pool` (nullptr = serial, same loop).  For pre-passes whose
+/// per-index work writes only its own output slot: with disjoint writes
+/// there is nothing to reduce, so scheduling cannot affect results no
+/// matter the worker count.
+template <class Body>
+void chunked_for(ThreadPool* pool, std::size_t n, std::size_t grain,
+                 const Body& body) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  run_chunks(pool, (n + grain - 1) / grain, [&](std::size_t c) {
+    const std::size_t hi = std::min(n, (c + 1) * grain);
+    for (std::size_t i = c * grain; i < hi; ++i) body(i);
+  });
 }
 
 /// Resolves the `num_workers` convention shared by the batch APIs:

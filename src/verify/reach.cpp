@@ -169,11 +169,7 @@ ReachResult ReachabilityAnalyzer::analyze(const IBox& initial) const {
         image.nn_evaluations = local.nn_evaluations;
         image.partitions = local.partitions;
       };
-      if (workers.pool() == nullptr || images.size() <= 1) {
-        for (std::size_t w = 0; w < images.size(); ++w) process_box(w);
-      } else {
-        workers.pool()->parallel_for(images.size(), process_box);
-      }
+      util::run_chunks(workers.pool(), images.size(), process_box);
 
       // Fixed-order merge: charge every box's work to the shared budget,
       // keep the first failure in frontier order, and concatenate the

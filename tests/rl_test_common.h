@@ -1,0 +1,35 @@
+// Shared helpers for the RL/distillation test suites: the tiny 1-D
+// point-mass tasks (point_mass_envs.h, also used by bench_micro) and the
+// bitwise network comparator the worker-count regression tests pin
+// determinism with.  One copy here so the suites can never silently drift
+// apart.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "nn/mlp.h"
+#include "point_mass_envs.h"
+
+namespace cocktail::testutil {
+
+/// Asserts two networks are bitwise identical (no tolerance) — the
+/// contract every parallel trainer/distiller pins across worker counts.
+inline void expect_same_net(const nn::Mlp& a, const nn::Mlp& b, int workers) {
+  ASSERT_EQ(a.num_layers(), b.num_layers()) << workers << " workers";
+  for (std::size_t l = 0; l < a.num_layers(); ++l) {
+    const auto& la_ = a.layers()[l];
+    const auto& lb = b.layers()[l];
+    ASSERT_EQ(la_.w.rows(), lb.w.rows()) << workers << " workers";
+    ASSERT_EQ(la_.w.cols(), lb.w.cols()) << workers << " workers";
+    for (std::size_t r = 0; r < la_.w.rows(); ++r)
+      for (std::size_t c = 0; c < la_.w.cols(); ++c)
+        ASSERT_EQ(la_.w(r, c), lb.w(r, c))  // bitwise: no tolerance.
+            << "layer " << l << " w(" << r << "," << c << "), " << workers
+            << " workers";
+    ASSERT_EQ(la_.b, lb.b) << "layer " << l << ", " << workers << " workers";
+  }
+}
+
+}  // namespace cocktail::testutil

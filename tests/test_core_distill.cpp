@@ -8,12 +8,14 @@
 
 #include "control/lqr_controller.h"
 #include "core/distiller.h"
+#include "rl_test_common.h"
 #include "sys/vanderpol.h"
 
 namespace cocktail {
 namespace {
 
 using la::Vec;
+using testutil::expect_same_net;
 
 core::DistillConfig tiny_config() {
   core::DistillConfig config;
@@ -138,22 +140,6 @@ TEST(Distill, ProjectionTighterThanUnregularized) {
   const auto projected = core::distill(vdp, lqr, config, "projected");
   EXPECT_LT(projected.lipschitz, plain.lipschitz);
   EXPECT_LE(projected.lipschitz, 20.0 * std::pow(1.0, 3.0) * 1.05);
-}
-
-void expect_same_net(const nn::Mlp& a, const nn::Mlp& b, int workers) {
-  ASSERT_EQ(a.num_layers(), b.num_layers()) << workers << " workers";
-  for (std::size_t l = 0; l < a.num_layers(); ++l) {
-    const auto& la_ = a.layers()[l];
-    const auto& lb = b.layers()[l];
-    ASSERT_EQ(la_.w.rows(), lb.w.rows()) << workers << " workers";
-    ASSERT_EQ(la_.w.cols(), lb.w.cols()) << workers << " workers";
-    for (std::size_t r = 0; r < la_.w.rows(); ++r)
-      for (std::size_t c = 0; c < la_.w.cols(); ++c)
-        ASSERT_EQ(la_.w(r, c), lb.w(r, c))  // bitwise: no tolerance.
-            << "layer " << l << " w(" << r << "," << c << "), " << workers
-            << " workers";
-    ASSERT_EQ(la_.b, lb.b) << "layer " << l << ", " << workers << " workers";
-  }
 }
 
 TEST(DistillDataset, BitwiseIdenticalForAnyWorkerCount) {

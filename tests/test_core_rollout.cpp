@@ -130,11 +130,34 @@ TEST(Evaluate, ZeroControllerHasZeroEnergy) {
   config.num_initial_states = 50;
   config.seed = 32;
   const auto result = core::evaluate(vdp, zero, config);
-  EXPECT_DOUBLE_EQ(result.mean_energy, 0.0);
+  // Zero control costs zero energy on the safe trajectories; with no safe
+  // trajectory at all the mean is undefined (NaN by the EvalResult
+  // contract), never a fake 0.0.
+  if (result.num_safe > 0)
+    EXPECT_DOUBLE_EQ(result.mean_energy, 0.0);
+  else
+    EXPECT_TRUE(std::isnan(result.mean_energy));
   // The Van der Pol limit cycle reaches |s2| ~ 2.7 > 2, so the uncontrolled
   // system is almost never safe over T = 100 steps — active control is
   // genuinely required in this benchmark.
   EXPECT_LT(result.safe_rate, 0.2);
+}
+
+TEST(Evaluate, MeanEnergyIsNanWhenNothingIsSafe) {
+  // The EvalResult convention PR'd across PairedOutcome and EvalResult: an
+  // all-unsafe evaluation reports NaN mean energy, so checkpoint selection
+  // can never mistake "nothing survived" for "survived for free".
+  std::vector<core::RolloutResult> rollouts(3);
+  for (auto& r : rollouts) {
+    r.safe = false;
+    r.energy = 5.0;
+  }
+  const auto result = core::summarize_rollouts(rollouts, 0, rollouts.size());
+  EXPECT_EQ(result.num_safe, 0);
+  EXPECT_DOUBLE_EQ(result.safe_rate, 0.0);
+  EXPECT_TRUE(std::isnan(result.mean_energy));
+  EXPECT_EQ(core::format_energy(result.mean_energy), "-");
+  EXPECT_EQ(core::format_energy(12.34), "12.3");
 }
 
 TEST(Evaluate, SafeRateDropsUnderStrongNoise) {

@@ -1,0 +1,188 @@
+// Bitwise regression tests for the parallel PPO/DDPG minibatch gradients:
+// the per-sample gradient work inside one update fans across the pool with
+// per-chunk buffers merged on the fixed chunked-reduce tree, so a trained
+// network must be bitwise identical for any worker count (the same contract
+// test_core_distill pins for the distiller).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/grad_reduce.h"
+#include "nn/loss.h"
+#include "nn/mlp.h"
+#include "rl/ddpg.h"
+#include "rl/env.h"
+#include "rl/ppo.h"
+#include "rl_test_common.h"
+#include "util/thread_pool.h"
+
+namespace cocktail {
+namespace {
+
+using la::Vec;
+using testutil::DiscretePointMassEnv;
+using testutil::PointMassEnv;
+using testutil::expect_same_net;
+
+rl::PpoConfig tiny_ppo(std::uint64_t seed) {
+  rl::PpoConfig config;
+  config.policy_hidden = {12, 12};
+  config.value_hidden = {16, 16};
+  config.iterations = 4;  // enough updates for any divergence to compound.
+  config.steps_per_iteration = 200;
+  config.update_epochs = 3;
+  config.minibatch = 48;  // not a multiple of the grain: ragged last chunk.
+  config.entropy_coef = 0.01;
+  config.seed = seed;
+  return config;
+}
+
+TEST(PpoGaussianParallel, BitwiseIdenticalForAnyWorkerCount) {
+  rl::PpoConfig config = tiny_ppo(21);
+  config.num_workers = 1;
+  PointMassEnv env_ref;
+  rl::PpoGaussian reference(config);
+  const rl::PpoStats ref_stats = reference.train(env_ref);
+  for (const int workers : {2, 8}) {
+    config.num_workers = workers;
+    PointMassEnv env;
+    rl::PpoGaussian parallel(config);
+    const rl::PpoStats stats = parallel.train(env);
+    expect_same_net(parallel.policy().mean_net(), reference.policy().mean_net(),
+                    workers);
+    expect_same_net(parallel.value_net(), reference.value_net(), workers);
+    EXPECT_EQ(parallel.policy().log_std(), reference.policy().log_std())
+        << workers << " workers";
+    EXPECT_EQ(stats.iteration_mean_returns, ref_stats.iteration_mean_returns)
+        << workers << " workers";
+    EXPECT_EQ(stats.iteration_kls, ref_stats.iteration_kls)
+        << workers << " workers";
+  }
+}
+
+TEST(PpoGaussianParallel, ClipVariantBitwiseIdenticalToo) {
+  // The clipped surrogate zeroes some per-sample coefficients — the chunk
+  // tree must not care which.
+  rl::PpoConfig config = tiny_ppo(22);
+  config.use_clip = true;
+  config.num_workers = 1;
+  PointMassEnv env_ref;
+  rl::PpoGaussian reference(config);
+  (void)reference.train(env_ref);
+  config.num_workers = 8;
+  PointMassEnv env;
+  rl::PpoGaussian parallel(config);
+  (void)parallel.train(env);
+  expect_same_net(parallel.policy().mean_net(), reference.policy().mean_net(),
+                  8);
+}
+
+TEST(PpoCategoricalParallel, BitwiseIdenticalForAnyWorkerCount) {
+  rl::PpoConfig config = tiny_ppo(23);
+  config.num_workers = 1;
+  DiscretePointMassEnv env_ref;
+  rl::PpoCategorical reference(config);
+  const rl::PpoStats ref_stats = reference.train(env_ref);
+  for (const int workers : {2, 8}) {
+    config.num_workers = workers;
+    DiscretePointMassEnv env;
+    rl::PpoCategorical parallel(config);
+    const rl::PpoStats stats = parallel.train(env);
+    expect_same_net(parallel.policy().logits_net(),
+                    reference.policy().logits_net(), workers);
+    EXPECT_EQ(stats.iteration_mean_returns, ref_stats.iteration_mean_returns)
+        << workers << " workers";
+    EXPECT_EQ(stats.iteration_kls, ref_stats.iteration_kls)
+        << workers << " workers";
+  }
+}
+
+TEST(DdpgParallel, BitwiseIdenticalForAnyWorkerCount) {
+  rl::DdpgConfig config;
+  config.actor_hidden = {12, 12};
+  config.critic_hidden = {16, 16};
+  config.episodes = 12;
+  config.warmup_steps = 120;
+  config.batch_size = 48;
+  config.seed = 24;
+  config.num_workers = 1;
+  PointMassEnv env_ref;
+  rl::Ddpg reference(config);
+  const rl::DdpgStats ref_stats = reference.train(env_ref);
+  for (const int workers : {2, 8}) {
+    config.num_workers = workers;
+    PointMassEnv env;
+    rl::Ddpg parallel(config);
+    const rl::DdpgStats stats = parallel.train(env);
+    expect_same_net(parallel.actor(), reference.actor(), workers);
+    expect_same_net(parallel.critic(), reference.critic(), workers);
+    EXPECT_EQ(stats.episode_returns, ref_stats.episode_returns)
+        << workers << " workers";
+  }
+}
+
+TEST(ChunkedGradReducer, MergeMatchesSerialChunkTree) {
+  // The per-chunk nn::Gradients buffers must merge to exactly the same
+  // bits on a pool as on the serial path: same chunking, same in-chunk
+  // order, same chunk-merge order.
+  const nn::Mlp net = nn::Mlp::make(3, {8, 8}, 2, nn::Activation::kTanh,
+                                    nn::Activation::kIdentity, 5);
+  util::Rng rng(17);
+  const std::size_t n = 37;  // ragged: 37 = 4*8 + 5 under grain 8.
+  std::vector<la::Vec> inputs(n), targets(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    inputs[i] = rng.uniform_vec(3, -1.0, 1.0);
+    targets[i] = rng.uniform_vec(2, -1.0, 1.0);
+  }
+  const auto body = [&](nn::Gradients& acc, std::size_t i) {
+    nn::Mlp::Workspace ws;
+    const la::Vec y = net.forward(inputs[i], ws);
+    (void)net.backward(ws, nn::mse_gradient(y, targets[i]), acc);
+  };
+  nn::ChunkedGradReducer<nn::Gradients> serial_reducer(
+      n, 8, [&] { return net.zero_gradients(); });
+  const nn::Gradients serial = serial_reducer.reduce(nullptr, n, body);
+
+  util::ThreadPool pool(4);
+  nn::ChunkedGradReducer<nn::Gradients> parallel_reducer(
+      n, 8, [&] { return net.zero_gradients(); });
+  // Run twice: buffer reuse across reduce() calls must not leak state.
+  (void)parallel_reducer.reduce(&pool, n, body);
+  const nn::Gradients parallel = parallel_reducer.reduce(&pool, n, body);
+
+  ASSERT_EQ(serial.w.size(), parallel.w.size());
+  for (std::size_t l = 0; l < serial.w.size(); ++l) {
+    EXPECT_EQ(serial.w[l].data(), parallel.w[l].data()) << "layer " << l;
+    EXPECT_EQ(serial.b[l], parallel.b[l]) << "layer " << l;
+  }
+  // A count needing more chunks than the construction-time capacity is a
+  // caller bug (the throw fires before any body runs).
+  EXPECT_THROW((void)parallel_reducer.reduce(&pool, 48, body),
+               std::invalid_argument);
+}
+
+TEST(ChunkedGradReducer, PartialCountUsesPrefixOfChunks) {
+  const nn::Mlp net = nn::Mlp::make(2, {6}, 1, nn::Activation::kTanh,
+                                    nn::Activation::kIdentity, 9);
+  const auto body = [&](nn::Gradients& acc, std::size_t i) {
+    nn::Mlp::Workspace ws;
+    const la::Vec y = net.forward({0.1 * static_cast<double>(i), -0.2}, ws);
+    (void)net.backward(ws, nn::mse_gradient(y, {0.5}), acc);
+  };
+  nn::ChunkedGradReducer<nn::Gradients> reducer(
+      64, 8, [&] { return net.zero_gradients(); });
+  // A full-batch reduce followed by a short ragged one (the last minibatch
+  // of an epoch) must equal a fresh reducer's result for the short batch.
+  (void)reducer.reduce(nullptr, 64, body);
+  const nn::Gradients reused = reducer.reduce(nullptr, 11, body);
+  nn::ChunkedGradReducer<nn::Gradients> fresh(
+      64, 8, [&] { return net.zero_gradients(); });
+  const nn::Gradients expected = fresh.reduce(nullptr, 11, body);
+  for (std::size_t l = 0; l < expected.w.size(); ++l) {
+    EXPECT_EQ(expected.w[l].data(), reused.w[l].data()) << "layer " << l;
+    EXPECT_EQ(expected.b[l], reused.b[l]) << "layer " << l;
+  }
+}
+
+}  // namespace
+}  // namespace cocktail

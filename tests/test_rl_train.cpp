@@ -8,62 +8,14 @@
 #include "rl/ddpg.h"
 #include "rl/env.h"
 #include "rl/ppo.h"
+#include "rl_test_common.h"
 
 namespace cocktail {
 namespace {
 
 using la::Vec;
-
-/// 1-D point mass: x' = x + 0.2*a, reward 1 - x²; start x ~ U[-1, 1].
-class PointMassEnv final : public rl::Env {
- public:
-  [[nodiscard]] std::size_t state_dim() const override { return 1; }
-  [[nodiscard]] std::size_t action_dim() const override { return 1; }
-  [[nodiscard]] int max_episode_steps() const override { return 30; }
-
-  Vec reset(util::Rng& rng) override {
-    x_ = rng.uniform(-1.0, 1.0);
-    return {x_};
-  }
-
-  rl::StepResult step(const Vec& action, util::Rng&) override {
-    x_ += 0.2 * action[0];
-    rl::StepResult result;
-    result.next_state = {x_};
-    result.reward = 1.0 - x_ * x_;
-    result.terminal = std::abs(x_) > 3.0;
-    if (result.terminal) result.reward = -10.0;
-    return result;
-  }
-
- private:
-  double x_ = 0.0;
-};
-
-/// Discrete version: actions {left, stay, right} with step 0.15.
-class DiscretePointMassEnv final : public rl::Env {
- public:
-  [[nodiscard]] std::size_t state_dim() const override { return 1; }
-  [[nodiscard]] std::size_t action_dim() const override { return 3; }
-  [[nodiscard]] int max_episode_steps() const override { return 30; }
-
-  Vec reset(util::Rng& rng) override {
-    x_ = rng.uniform(-1.0, 1.0);
-    return {x_};
-  }
-
-  rl::StepResult step(const Vec& action, util::Rng&) override {
-    const auto choice = static_cast<int>(action[0]);
-    x_ += 0.15 * (choice - 1);
-    rl::StepResult result;
-    result.next_state = {x_};
-    result.reward = 1.0 - x_ * x_;
-    return result;
-  }
-
- private:
-  double x_ = 0.0;
-};
+using testutil::DiscretePointMassEnv;
+using testutil::PointMassEnv;
 
 rl::DdpgConfig small_ddpg(std::uint64_t seed) {
   rl::DdpgConfig config;
@@ -203,6 +155,27 @@ TEST(DdpgTrain, RunBeforeInitializeThrows) {
   PointMassEnv env;
   rl::Ddpg ddpg(small_ddpg(12));
   EXPECT_THROW((void)ddpg.run_episodes(env, 1), std::logic_error);
+}
+
+TEST(DdpgStats, FinalReturnMeanClampsZeroWindow) {
+  rl::DdpgStats stats;
+  EXPECT_DOUBLE_EQ(stats.final_return_mean(0), 0.0);  // empty: no NaN.
+  stats.episode_returns = {1.0, 2.0, 4.0};
+  // window == 0 must not divide by zero; it clamps to the last episode.
+  EXPECT_DOUBLE_EQ(stats.final_return_mean(0), 4.0);
+  EXPECT_DOUBLE_EQ(stats.final_return_mean(1), 4.0);
+  EXPECT_DOUBLE_EQ(stats.final_return_mean(2), 3.0);
+  EXPECT_DOUBLE_EQ(stats.final_return_mean(10), 7.0 / 3.0);
+}
+
+TEST(PpoStats, FinalReturnMeanClampsZeroWindow) {
+  rl::PpoStats stats;
+  EXPECT_DOUBLE_EQ(stats.final_return_mean(0), 0.0);  // empty: no NaN.
+  stats.iteration_mean_returns = {1.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(stats.final_return_mean(0), 4.0);
+  EXPECT_DOUBLE_EQ(stats.final_return_mean(1), 4.0);
+  EXPECT_DOUBLE_EQ(stats.final_return_mean(2), 3.0);
+  EXPECT_DOUBLE_EQ(stats.final_return_mean(10), 7.0 / 3.0);
 }
 
 TEST(PpoCategoricalTrain, IncrementalMatchesMonolithic) {

@@ -3,6 +3,8 @@
 // and make_eval_jobs must reproduce the evaluator's historical seeding.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include <vector>
 
 #include "attack/fgsm.h"
@@ -255,8 +257,11 @@ TEST(Evaluate, MatchesTheHistoricalSerialLoop) {
   const auto result = core::evaluate(system, controller, config);
   EXPECT_EQ(result.num_total, config.num_initial_states);
   EXPECT_EQ(result.num_safe, num_safe);
-  EXPECT_EQ(result.mean_energy,
-            num_safe == 0 ? 0.0 : energy_sum / num_safe);
+  // mean_energy is NaN when nothing was safe (EvalResult contract).
+  if (num_safe == 0)
+    EXPECT_TRUE(std::isnan(result.mean_energy));
+  else
+    EXPECT_EQ(result.mean_energy, energy_sum / num_safe);
 }
 
 }  // namespace
