@@ -1,6 +1,7 @@
 #include "core/envs.h"
 
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
 namespace cocktail::core {
@@ -75,12 +76,17 @@ std::size_t ExpertTrainingEnv::action_dim() const {
 
 int ExpertTrainingEnv::max_episode_steps() const { return system_->horizon(); }
 
-la::Vec ExpertTrainingEnv::reset(util::Rng& rng) {
+std::unique_ptr<rl::Env> ExpertTrainingEnv::do_clone() const {
+  // Copy construction: private episode state, shared (const-used) system.
+  return std::make_unique<ExpertTrainingEnv>(*this);
+}
+
+la::Vec ExpertTrainingEnv::do_reset(util::Rng& rng) {
   true_state_ = system_->sample_initial_state(rng);
   return observe(true_state_, config_.observation_noise, rng);
 }
 
-rl::StepResult ExpertTrainingEnv::step(const la::Vec& action, util::Rng& rng) {
+rl::StepResult ExpertTrainingEnv::do_step(const la::Vec& action, util::Rng& rng) {
   // Action in [-1,1]^m -> control input in action_scale * U.
   const sys::Box bounds = system_->control_bounds();
   la::Vec u(action.size());
@@ -138,12 +144,18 @@ std::size_t MixingEnv::action_dim() const { return experts_.size(); }
 
 int MixingEnv::max_episode_steps() const { return system_->horizon(); }
 
-la::Vec MixingEnv::reset(util::Rng& rng) {
+std::unique_ptr<rl::Env> MixingEnv::do_clone() const {
+  // Copy construction: private episode state; system and experts are shared
+  // by reference (const-used, concurrent-step safe per batch_rollout).
+  return std::make_unique<MixingEnv>(*this);
+}
+
+la::Vec MixingEnv::do_reset(util::Rng& rng) {
   true_state_ = system_->sample_initial_state(rng);
   return observe(true_state_, reward_.observation_noise, rng);
 }
 
-rl::StepResult MixingEnv::step(const la::Vec& action, util::Rng& rng) {
+rl::StepResult MixingEnv::do_step(const la::Vec& action, util::Rng& rng) {
   if (action.size() != experts_.size())
     throw std::invalid_argument("MixingEnv::step: bad action dimension");
   // The controllers read the same (possibly noisy) observation the policy
@@ -197,12 +209,16 @@ std::size_t FiniteWeightedEnv::action_dim() const {
 
 int FiniteWeightedEnv::max_episode_steps() const { return system_->horizon(); }
 
-la::Vec FiniteWeightedEnv::reset(util::Rng& rng) {
+std::unique_ptr<rl::Env> FiniteWeightedEnv::do_clone() const {
+  return std::make_unique<FiniteWeightedEnv>(*this);
+}
+
+la::Vec FiniteWeightedEnv::do_reset(util::Rng& rng) {
   true_state_ = system_->sample_initial_state(rng);
   return observe(true_state_, reward_.observation_noise, rng);
 }
 
-rl::StepResult FiniteWeightedEnv::step(const la::Vec& action, util::Rng& rng) {
+rl::StepResult FiniteWeightedEnv::do_step(const la::Vec& action, util::Rng& rng) {
   if (action.empty())
     throw std::invalid_argument("FiniteWeightedEnv::step: empty action");
   const auto index = static_cast<std::size_t>(action[0]);
@@ -246,12 +262,16 @@ std::size_t SwitchingEnv::action_dim() const { return experts_.size(); }
 
 int SwitchingEnv::max_episode_steps() const { return system_->horizon(); }
 
-la::Vec SwitchingEnv::reset(util::Rng& rng) {
+std::unique_ptr<rl::Env> SwitchingEnv::do_clone() const {
+  return std::make_unique<SwitchingEnv>(*this);
+}
+
+la::Vec SwitchingEnv::do_reset(util::Rng& rng) {
   true_state_ = system_->sample_initial_state(rng);
   return observe(true_state_, reward_.observation_noise, rng);
 }
 
-rl::StepResult SwitchingEnv::step(const la::Vec& action, util::Rng& rng) {
+rl::StepResult SwitchingEnv::do_step(const la::Vec& action, util::Rng& rng) {
   if (action.empty())
     throw std::invalid_argument("SwitchingEnv::step: empty action");
   const auto index = static_cast<std::size_t>(action[0]);

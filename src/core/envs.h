@@ -16,6 +16,7 @@
 // (perturbed observations at every sampling period).
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "control/controller.h"
@@ -71,10 +72,13 @@ class ExpertTrainingEnv final : public rl::Env {
   [[nodiscard]] std::size_t state_dim() const override;
   [[nodiscard]] std::size_t action_dim() const override;
   [[nodiscard]] int max_episode_steps() const override;
-  la::Vec reset(util::Rng& rng) override;
-  rl::StepResult step(const la::Vec& action, util::Rng& rng) override;
 
   [[nodiscard]] double action_scale() const { return config_.action_scale; }
+
+ protected:
+  la::Vec do_reset(util::Rng& rng) override;
+  rl::StepResult do_step(const la::Vec& action, util::Rng& rng) override;
+  [[nodiscard]] std::unique_ptr<rl::Env> do_clone() const override;
 
  private:
   sys::SystemPtr system_;
@@ -92,12 +96,15 @@ class MixingEnv final : public rl::Env {
   /// One weight per expert.
   [[nodiscard]] std::size_t action_dim() const override;
   [[nodiscard]] int max_episode_steps() const override;
-  la::Vec reset(util::Rng& rng) override;
-  /// `action` in [-1,1]^n; the env scales by the weight bound AB.
-  rl::StepResult step(const la::Vec& action, util::Rng& rng) override;
 
   [[nodiscard]] double weight_bound() const { return weight_bound_; }
   [[nodiscard]] double energy_coef() const { return energy_coef_; }
+
+ protected:
+  la::Vec do_reset(util::Rng& rng) override;
+  /// `action` in [-1,1]^n; the env scales by the weight bound AB.
+  rl::StepResult do_step(const la::Vec& action, util::Rng& rng) override;
+  [[nodiscard]] std::unique_ptr<rl::Env> do_clone() const override;
 
  private:
   sys::SystemPtr system_;
@@ -123,9 +130,12 @@ class FiniteWeightedEnv final : public rl::Env {
   /// Number of weight-table entries (discrete choices).
   [[nodiscard]] std::size_t action_dim() const override;
   [[nodiscard]] int max_episode_steps() const override;
-  la::Vec reset(util::Rng& rng) override;
+
+ protected:
+  la::Vec do_reset(util::Rng& rng) override;
   /// `action` holds the table index in action[0].
-  rl::StepResult step(const la::Vec& action, util::Rng& rng) override;
+  rl::StepResult do_step(const la::Vec& action, util::Rng& rng) override;
+  [[nodiscard]] std::unique_ptr<rl::Env> do_clone() const override;
 
  private:
   sys::SystemPtr system_;
@@ -145,9 +155,12 @@ class SwitchingEnv final : public rl::Env {
   /// Number of experts (discrete choices).
   [[nodiscard]] std::size_t action_dim() const override;
   [[nodiscard]] int max_episode_steps() const override;
-  la::Vec reset(util::Rng& rng) override;
+
+ protected:
+  la::Vec do_reset(util::Rng& rng) override;
   /// `action` holds the selected expert index in action[0].
-  rl::StepResult step(const la::Vec& action, util::Rng& rng) override;
+  rl::StepResult do_step(const la::Vec& action, util::Rng& rng) override;
+  [[nodiscard]] std::unique_ptr<rl::Env> do_clone() const override;
 
  private:
   sys::SystemPtr system_;

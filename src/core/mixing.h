@@ -1,5 +1,12 @@
 // Step 1 of Cocktail: RL-based adaptive mixing (paper Section III-A), plus
 // the switching baseline AS and the DDPG mixing variant of Remark 1.
+//
+// All four trainers collect experience through the sharded collectors: the
+// embedded rl::PpoConfig / rl::DdpgConfig `num_env_shards` field replicates
+// the adaptation env (MixingEnv / SwitchingEnv / FiniteWeightedEnv) per
+// shard via Env::clone(), and `num_workers` parallelizes the minibatch
+// gradient work.  Trained controllers are bitwise identical for any shard
+// or worker count.
 #pragma once
 
 #include <cstdint>

@@ -6,6 +6,7 @@
 
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "rl/episode_shards.h"
 #include "rl/noise.h"
 #include "util/logging.h"
 
@@ -17,6 +18,29 @@ namespace {
 /// pre-pass).  Part of the fixed reduction tree: changing it changes
 /// low-order bits.
 constexpr std::size_t kGradGrain = 8;
+
+/// One random-action warmup episode collected on a private env replica and
+/// RNG stream (the sharded exploration unit; see DdpgConfig::num_env_shards).
+struct WarmupEpisode {
+  std::vector<Transition> transitions;
+  double episode_return = 0.0;
+};
+
+WarmupEpisode run_warmup_episode(Env& env, util::Rng& rng) {
+  WarmupEpisode episode;
+  la::Vec s = env.reset(rng);
+  for (int t = 0; t < env.max_episode_steps(); ++t) {
+    la::Vec a = rng.uniform_vec(env.action_dim(), -1.0, 1.0);
+    const StepResult result = env.step(a, rng);
+    episode.episode_return += result.reward;
+    episode.transitions.push_back(
+        {std::move(s), std::move(a), result.reward, result.next_state,
+         result.terminal});
+    if (result.terminal) break;
+    s = result.next_state;
+  }
+  return episode;
+}
 
 }  // namespace
 
@@ -79,35 +103,83 @@ void Ddpg::initialize(Env& env) {
   total_steps_ = 0;
   episodes_done_ = 0;
   sigma_ = config_.ou_sigma;
+  // One draw seeds every warmup episode slot stream (the split mirrors
+  // batch_rollout's per-job seeds), so the trainer stream advances
+  // identically no matter how many env clones run the warmup.
+  warmup_seed_ = rng_->next();
+  warmup_slot_next_ = 0;
   initialized_ = true;
+}
+
+int Ddpg::run_warmup_episodes(Env& env, int budget, DdpgStats& stats) {
+  // Episode slots run in waves of num_env_shards env clones on the pool
+  // (rl::run_slot_wave), then merge in fixed slot order until warmup_steps
+  // transitions accumulated or the episode budget runs out.  Inclusion
+  // depends only on the slot-order cumulative counts, so the collected
+  // replay prefix is bitwise identical for any shard/worker count; surplus
+  // wave episodes are discarded (a budget-cut slot replays its identical
+  // stream on the next call).
+  std::vector<std::unique_ptr<Env>> clones =
+      clone_shards(env, config_.num_env_shards);
+  util::ThreadPool* pool = workers_->pool();
+
+  int ran = 0;
+  std::vector<WarmupEpisode> wave(clones.size());
+  while (ran < budget && total_steps_ < config_.warmup_steps) {
+    const std::uint64_t base = warmup_slot_next_;
+    run_slot_wave(clones, pool, warmup_seed_, base, wave,
+                  [](Env& shard, util::Rng& slot_rng) {
+                    return run_warmup_episode(shard, slot_rng);
+                  });
+    for (std::size_t j = 0; j < wave.size(); ++j) {
+      if (ran >= budget || total_steps_ >= config_.warmup_steps) {
+        warmup_slot_next_ = base + static_cast<std::uint64_t>(j);
+        break;
+      }
+      total_steps_ += wave[j].transitions.size();
+      for (auto& transition : wave[j].transitions)
+        buffer_->add(std::move(transition));
+      sigma_ *= config_.noise_decay;
+      stats.episode_returns.push_back(wave[j].episode_return);
+      if (progress_) progress_(episodes_done_, wave[j].episode_return);
+      ++episodes_done_;
+      ++ran;
+      warmup_slot_next_ = base + static_cast<std::uint64_t>(j) + 1;
+      wave[j] = WarmupEpisode{};
+    }
+  }
+  return ran;
 }
 
 DdpgStats Ddpg::run_episodes(Env& env, int episodes) {
   if (!initialized_)
     throw std::logic_error("Ddpg::run_episodes: call initialize() first");
   DdpgStats stats;
-  for (int episode = 0; episode < episodes; ++episode) {
+  int remaining = episodes;
+
+  // Phase 1 — sharded random-action warmup: whole episodes on env clones
+  // with per-slot RNG streams, no updates (the old loop never updated
+  // before warmup_steps either).  May span several run_episodes calls.
+  if (remaining > 0 && total_steps_ < config_.warmup_steps)
+    remaining -= run_warmup_episodes(env, remaining, stats);
+
+  // Phase 2 — serial learned episodes: every step samples from the actor
+  // the previous step just updated, so this loop is serial by construction.
+  for (; remaining > 0; --remaining) {
     la::Vec s = env.reset(*rng_);
     noise_->reset();
     noise_->set_sigma(sigma_);
     double episode_return = 0.0;
     for (int t = 0; t < env.max_episode_steps(); ++t) {
-      la::Vec a;
-      if (total_steps_ < config_.warmup_steps) {
-        a = rng_->uniform_vec(env.action_dim(), -1.0, 1.0);
-      } else {
-        a = actor_.forward(s);
-        la::axpy(a, 1.0, noise_->sample(*rng_));
-        a = la::clip(a, -1.0, 1.0);
-      }
+      la::Vec a = actor_.forward(s);
+      la::axpy(a, 1.0, noise_->sample(*rng_));
+      a = la::clip(a, -1.0, 1.0);
       const StepResult result = env.step(a, *rng_);
       buffer_->add({s, a, result.reward, result.next_state, result.terminal});
       episode_return += result.reward;
       s = result.next_state;
       ++total_steps_;
-      if (buffer_->size() >= config_.batch_size &&
-          total_steps_ >= config_.warmup_steps)
-        update(*buffer_, *rng_);
+      if (buffer_->size() >= config_.batch_size) update(*buffer_, *rng_);
       if (result.terminal) break;
     }
     sigma_ *= config_.noise_decay;

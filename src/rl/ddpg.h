@@ -42,6 +42,17 @@ struct DdpgConfig {
   /// k > 1 = dedicated pool).  Training is bitwise identical for any value:
   /// per-chunk gradient buffers merge on the fixed chunked-reduce tree.
   int num_workers = 0;
+  /// Env replicas stepping concurrently during the random-action warmup
+  /// phase (values < 1 behave as 1).  Warmup is decomposed into per-episode
+  /// RNG slots (streams derived from one seed drawn at initialize()) whose
+  /// full episodes merge into the replay buffer in fixed slot order until
+  /// `warmup_steps` transitions accumulated; the slot decomposition never
+  /// depends on this knob, so training is bitwise identical for ANY shard
+  /// count and any worker count.  The learned phase stays serial by
+  /// construction: every post-warmup step updates the actor the next action
+  /// is sampled from (the same optimizer-state dependency that keeps the
+  /// outer minibatch sequence serial).  Shards run on the num_workers pool.
+  int num_env_shards = 1;
 };
 
 struct DdpgStats {
@@ -77,6 +88,10 @@ class Ddpg {
 
  private:
   void build_networks(std::size_t state_dim, std::size_t action_dim);
+  /// Sharded random-action warmup collection (see DdpgConfig::
+  /// num_env_shards); consumes up to `budget` episodes, returns how many it
+  /// ran and appends their returns to `stats`.
+  int run_warmup_episodes(Env& env, int budget, DdpgStats& stats);
   void update(ReplayBuffer& buffer, util::Rng& rng);
   static void polyak_update(nn::Mlp& target, const nn::Mlp& online,
                             double polyak);
@@ -100,6 +115,11 @@ class Ddpg {
   std::size_t total_steps_ = 0;
   int episodes_done_ = 0;
   double sigma_ = 0.0;
+  // Warmup slot-stream state: seed drawn once at initialize(); the next
+  // episode slot to merge persists across run_episodes calls so a warmup
+  // split over several calls replays the identical slot sequence.
+  std::uint64_t warmup_seed_ = 0;
+  std::uint64_t warmup_slot_next_ = 0;
   bool initialized_ = false;
 };
 

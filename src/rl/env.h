@@ -3,9 +3,28 @@
 // The MDP of Section III-A (adaptive mixing), its switching restriction
 // (the AS baseline), and the per-expert DDPG training tasks are all
 // implemented as Envs in src/core; the algorithms here are generic.
+//
+// The interface is non-virtual (NVI): `reset`/`step`/`clone` are the public
+// entry points and enforce the episode contract below; implementations
+// override the protected `do_*` hooks.  The contract — pinned for every
+// implementation by the conformance suite in tests/env_conformance.h — is:
+//   * `reset`/`step` are deterministic functions of the env state and the
+//     caller-supplied RNG stream (all stochasticity flows through `rng`);
+//   * `StepResult::terminal` marks genuine terminal states only; hitting
+//     `max_episode_steps` is time-limit truncation, which the training loop
+//     owns — an env never flags (and never forbids) stepping at the limit;
+//   * once a step returned `terminal`, the episode is over: stepping again
+//     without an intervening `reset` throws std::logic_error (this used to
+//     be silently undefined per-env behavior);
+//   * `clone` yields an independent replica (same configuration, own
+//     episode state) — stepping a clone never perturbs the original.  The
+//     sharded collectors (rl::PpoGaussian/PpoCategorical::collect, DDPG's
+//     warmup exploration) replicate one env per shard through this hook.
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <stdexcept>
 
 #include "la/vec.h"
 #include "util/rng.h"
@@ -33,11 +52,45 @@ class Env {
   [[nodiscard]] virtual int max_episode_steps() const = 0;
 
   /// Starts a new episode; returns the initial state.
-  virtual la::Vec reset(util::Rng& rng) = 0;
+  la::Vec reset(util::Rng& rng) {
+    terminal_pending_ = false;
+    return do_reset(rng);
+  }
+
   /// Applies an action.  Continuous actions arrive in [-1, 1]^dim (the env
   /// owns any scaling); discrete actions arrive as a one-element vector
-  /// holding the choice index.
-  virtual StepResult step(const la::Vec& action, util::Rng& rng) = 0;
+  /// holding the choice index.  Throws std::logic_error when the previous
+  /// step already ended the episode (`terminal` was set and no reset
+  /// followed) — stepping a finished episode has no defined semantics.
+  StepResult step(const la::Vec& action, util::Rng& rng) {
+    if (terminal_pending_)
+      throw std::logic_error(
+          "rl::Env::step: episode already reached a terminal state; "
+          "call reset() before stepping again");
+    StepResult result = do_step(action, rng);
+    terminal_pending_ = result.terminal;
+    return result;
+  }
+
+  /// Independent replica: same configuration, own copy of the episode state
+  /// (including the terminal guard).  Underlying plant models / experts are
+  /// shared by reference — they are const-used and safe for concurrent
+  /// stepping (the same contract core::batch_rollout relies on).
+  [[nodiscard]] std::unique_ptr<Env> clone() const { return do_clone(); }
+
+ protected:
+  Env() = default;
+  // Copyable so implementations can do_clone via their copy constructor
+  // (the guard state travels with the episode state).
+  Env(const Env&) = default;
+  Env& operator=(const Env&) = default;
+
+  virtual la::Vec do_reset(util::Rng& rng) = 0;
+  virtual StepResult do_step(const la::Vec& action, util::Rng& rng) = 0;
+  [[nodiscard]] virtual std::unique_ptr<Env> do_clone() const = 0;
+
+ private:
+  bool terminal_pending_ = false;
 };
 
 }  // namespace cocktail::rl

@@ -1,0 +1,54 @@
+// The shared core of the sharded experience collectors (PPO collect, DDPG
+// warmup exploration): replicate an env per shard and run one *wave* of
+// episode slots across the pool, each slot on its own derived RNG stream.
+//
+// This is the determinism-critical fragment of the shard RNG-split recipe
+// (README "Parallelism and determinism"), kept in ONE place so the PPO and
+// DDPG collectors can never drift apart:
+//   * slot k's stream is derive_seed(seed, k) — a pure function of the
+//     collection-pass seed and the slot index, never of the shard or worker
+//     count;
+//   * each slot writes only its own wave entry (disjoint writes — nothing
+//     to reduce, scheduling cannot leak into results).
+// What REMAINS algorithm-specific is only the per-episode body and the
+// fixed slot-order merge policy (step-budget cut for PPO, episode-budget /
+// warmup-step cursor for DDPG).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rl/env.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace cocktail::rl {
+
+/// `num_env_shards` independent replicas of `env` (values < 1 behave as 1).
+[[nodiscard]] inline std::vector<std::unique_ptr<Env>> clone_shards(
+    const Env& env, int num_env_shards) {
+  const auto shards = static_cast<std::size_t>(
+      num_env_shards > 1 ? num_env_shards : 1);
+  std::vector<std::unique_ptr<Env>> clones;
+  clones.reserve(shards);
+  for (std::size_t j = 0; j < shards; ++j) clones.push_back(env.clone());
+  return clones;
+}
+
+/// Runs one wave: slot `base_slot + j` executes `run_episode(*clones[j],
+/// slot_rng)` into `wave[j]` for every shard, on `pool` (nullptr = serial,
+/// identical results).  `wave.size()` must equal `clones.size()`.
+template <class Episode, class RunEpisode>
+void run_slot_wave(std::vector<std::unique_ptr<Env>>& clones,
+                   util::ThreadPool* pool, std::uint64_t seed,
+                   std::uint64_t base_slot, std::vector<Episode>& wave,
+                   const RunEpisode& run_episode) {
+  util::chunked_for(pool, clones.size(), 1, [&](std::size_t j) {
+    util::Rng slot_rng(
+        util::derive_seed(seed, base_slot + static_cast<std::uint64_t>(j)));
+    wave[j] = run_episode(*clones[j], slot_rng);
+  });
+}
+
+}  // namespace cocktail::rl

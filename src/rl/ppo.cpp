@@ -8,6 +8,7 @@
 #include "nn/grad_reduce.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "rl/episode_shards.h"
 #include "util/logging.h"
 
 namespace cocktail::rl {
@@ -73,6 +74,104 @@ void adapt_beta(double& beta, double observed_kl, double target) {
   else if (observed_kl < target / 1.5) beta = std::max(beta * 0.5, 1e-3);
 }
 
+// --- sharded on-policy collection ------------------------------------------
+//
+// The RNG-split recipe mirrors batch_rollout's per-job seeds: one collect
+// seed per iteration (a single draw from the trainer RNG, so the trainer
+// stream advances identically no matter how collection executes), one
+// derived stream per episode *slot*, and fixed slot-order concatenation cut
+// at steps_per_iteration.  Which episodes end up in the batch depends only
+// on the slot-order cumulative step counts — never on how many env clones
+// (num_env_shards) or pool workers ran them — so collection is bitwise
+// identical for any shard/worker count, including the serial path.
+
+/// Runs one full episode (to a terminal state or the env time limit) on a
+/// private env replica and RNG stream.  `sample` records the policy action
+/// and log-prob into the batch and returns the action to execute.
+template <class SampleFn>
+RolloutBatch run_episode(Env& env, const nn::Mlp& value_net,
+                         const SampleFn& sample, util::Rng& rng) {
+  RolloutBatch batch;
+  la::Vec s = env.reset(rng);
+  // Carry V(s) across steps: while the episode continues, next_values[t]
+  // and values[t+1] are the same forward on the same state, so the cached
+  // value is bitwise identical and halves the value forwards.
+  double value_s = value_net.forward(s)[0];
+  const int horizon = env.max_episode_steps();
+  for (int t = 1;; ++t) {
+    const la::Vec executed = sample(batch, s, rng);
+    const StepResult result = env.step(executed, rng);
+    const bool time_limit = t >= horizon && !result.terminal;
+    const double value_next = value_net.forward(result.next_state)[0];
+    batch.states.push_back(s);
+    batch.rewards.push_back(result.reward);
+    batch.values.push_back(value_s);
+    batch.next_values.push_back(value_next);
+    batch.terminal.push_back(result.terminal);
+    batch.truncated.push_back(time_limit);
+    if (result.terminal || time_limit) break;
+    s = result.next_state;
+    value_s = value_next;
+  }
+  return batch;
+}
+
+/// Appends the first `take` samples of `from` to `into` (the fixed
+/// slot-order concatenation; the final included episode may be cut at the
+/// step budget, exactly like the serial collector always cut its last
+/// episode mid-flight).
+void append_prefix(RolloutBatch& into, const RolloutBatch& from,
+                   std::size_t take) {
+  const auto copy_prefix = [take](auto& dst, const auto& src) {
+    dst.insert(dst.end(), src.begin(),
+               src.begin() + static_cast<std::ptrdiff_t>(take));
+  };
+  copy_prefix(into.states, from.states);
+  if (!from.actions.empty()) copy_prefix(into.actions, from.actions);
+  if (!from.discrete_actions.empty())
+    copy_prefix(into.discrete_actions, from.discrete_actions);
+  copy_prefix(into.rewards, from.rewards);
+  copy_prefix(into.values, from.values);
+  copy_prefix(into.next_values, from.next_values);
+  copy_prefix(into.log_probs, from.log_probs);
+  copy_prefix(into.terminal, from.terminal);
+  copy_prefix(into.truncated, from.truncated);
+}
+
+/// The sharded collector shared by both PPO drivers: episode slots run in
+/// waves of `num_env_shards` env clones on `pool` (rl::run_slot_wave), then
+/// merge in slot order until the step budget is met.  Surplus episodes of
+/// the final wave are discarded; recomputing or skipping them can never
+/// change the included prefix.
+template <class SampleFn>
+RolloutBatch collect_sharded(Env& env, const nn::Mlp& value_net,
+                             const PpoConfig& config, util::ThreadPool* pool,
+                             std::uint64_t collect_seed,
+                             const SampleFn& sample) {
+  const auto target =
+      static_cast<std::size_t>(std::max(config.steps_per_iteration, 1));
+  std::vector<std::unique_ptr<Env>> clones =
+      clone_shards(env, config.num_env_shards);
+
+  RolloutBatch batch;
+  std::vector<RolloutBatch> wave(clones.size());
+  std::uint64_t next_slot = 0;
+  while (batch.size() < target) {
+    run_slot_wave(clones, pool, collect_seed, next_slot, wave,
+                  [&](Env& shard, util::Rng& slot_rng) {
+                    return run_episode(shard, value_net, sample, slot_rng);
+                  });
+    for (auto& episode : wave) {
+      if (batch.size() < target)
+        append_prefix(batch, episode,
+                      std::min(episode.size(), target - batch.size()));
+      episode = RolloutBatch{};
+    }
+    next_slot += static_cast<std::uint64_t>(clones.size());
+  }
+  return batch;
+}
+
 }  // namespace
 
 double PpoStats::final_return_mean(std::size_t window) const {
@@ -99,43 +198,27 @@ nn::Mlp PpoGaussian::take_mean_net() {
 }
 
 RolloutBatch PpoGaussian::collect(Env& env, util::Rng& rng) {
-  RolloutBatch batch;
-  la::Vec s = env.reset(rng);
-  // Carry V(s) across steps: while the episode continues, next_values[t]
-  // and values[t+1] are the same forward on the same state, so the cached
-  // value is bitwise identical and halves the value forwards.
-  double value_s = value_net_.forward(s)[0];
-  int episode_step = 0;
-  while (static_cast<int>(batch.size()) < config_.steps_per_iteration) {
-    const auto sample = policy_->sample(s, rng);
-    const la::Vec executed = la::clip(sample.action, -1.0, 1.0);
-    const StepResult result = env.step(executed, rng);
-    ++episode_step;
-    const bool time_limit =
-        episode_step >= env.max_episode_steps() && !result.terminal;
-    const double value_next = value_net_.forward(result.next_state)[0];
-    batch.states.push_back(s);
-    batch.actions.push_back(sample.action);
-    batch.rewards.push_back(result.reward);
-    batch.values.push_back(value_s);
-    batch.next_values.push_back(value_next);
-    batch.log_probs.push_back(sample.log_prob);
-    batch.terminal.push_back(result.terminal);
-    batch.truncated.push_back(time_limit);
-    if (result.terminal || time_limit) {
-      s = env.reset(rng);
-      value_s = value_net_.forward(s)[0];
-      episode_step = 0;
-    } else {
-      s = result.next_state;
-      value_s = value_next;
-    }
-  }
-  return batch;
+  // One trainer-RNG draw per iteration seeds every episode slot stream, so
+  // the trainer stream advances identically for any shard count.
+  const std::uint64_t collect_seed = rng.next();
+  const GaussianPolicy* policy = policy_.get();
+  return collect_sharded(
+      env, value_net_, config_, workers_->pool(), collect_seed,
+      [policy](RolloutBatch& batch, const la::Vec& s, util::Rng& slot_rng) {
+        const auto sample = policy->sample(s, slot_rng);
+        const la::Vec executed = la::clip(sample.action, -1.0, 1.0);
+        batch.actions.push_back(sample.action);
+        batch.log_probs.push_back(sample.log_prob);
+        return executed;
+      });
 }
 
 double PpoGaussian::update(const RolloutBatch& batch,
                            const AdvantageResult& adv, util::Rng& rng) {
+  // Zero epochs leave the policy untouched: KL(pi_old || pi) is exactly 0
+  // and no permutation is drawn, so skipping the passes outright is bitwise
+  // identical and keeps collection-only runs (BM_PpoCollect) undiluted.
+  if (config_.update_epochs <= 0) return 0.0;
   util::ThreadPool* pool = workers_->pool();
   // Freeze pi_old: means and stds at collection time.  Frozen per-minibatch
   // inputs (mu_old, std_old, adv.advantages, adv.returns) are read-only
@@ -284,42 +367,23 @@ nn::Mlp PpoCategorical::take_logits_net() {
 }
 
 RolloutBatch PpoCategorical::collect(Env& env, util::Rng& rng) {
-  RolloutBatch batch;
-  la::Vec s = env.reset(rng);
-  // Same cached-value carry as PpoGaussian::collect (bitwise identical,
-  // half the value forwards).
-  double value_s = value_net_.forward(s)[0];
-  int episode_step = 0;
-  while (static_cast<int>(batch.size()) < config_.steps_per_iteration) {
-    const auto sample = policy_->sample(s, rng);
-    const StepResult result =
-        env.step({static_cast<double>(sample.action)}, rng);
-    ++episode_step;
-    const bool time_limit =
-        episode_step >= env.max_episode_steps() && !result.terminal;
-    const double value_next = value_net_.forward(result.next_state)[0];
-    batch.states.push_back(s);
-    batch.discrete_actions.push_back(sample.action);
-    batch.rewards.push_back(result.reward);
-    batch.values.push_back(value_s);
-    batch.next_values.push_back(value_next);
-    batch.log_probs.push_back(sample.log_prob);
-    batch.terminal.push_back(result.terminal);
-    batch.truncated.push_back(time_limit);
-    if (result.terminal || time_limit) {
-      s = env.reset(rng);
-      value_s = value_net_.forward(s)[0];
-      episode_step = 0;
-    } else {
-      s = result.next_state;
-      value_s = value_next;
-    }
-  }
-  return batch;
+  // Same per-iteration seed split as PpoGaussian::collect.
+  const std::uint64_t collect_seed = rng.next();
+  const CategoricalPolicy* policy = policy_.get();
+  return collect_sharded(
+      env, value_net_, config_, workers_->pool(), collect_seed,
+      [policy](RolloutBatch& batch, const la::Vec& s, util::Rng& slot_rng) {
+        const auto sample = policy->sample(s, slot_rng);
+        batch.discrete_actions.push_back(sample.action);
+        batch.log_probs.push_back(sample.log_prob);
+        return la::Vec{static_cast<double>(sample.action)};
+      });
 }
 
 double PpoCategorical::update(const RolloutBatch& batch,
                               const AdvantageResult& adv, util::Rng& rng) {
+  // Same no-op shortcut as PpoGaussian::update (bitwise identical).
+  if (config_.update_epochs <= 0) return 0.0;
   util::ThreadPool* pool = workers_->pool();
   // Frozen pi_old probabilities: read-only for the chunk workers below.
   std::vector<la::Vec> probs_old(batch.size());

@@ -49,6 +49,15 @@ struct PpoConfig {
   /// k > 1 = dedicated pool).  Training is bitwise identical for any value:
   /// per-chunk gradient buffers merge on the fixed chunked-reduce tree.
   int num_workers = 0;
+  /// Env replicas stepping concurrently during collect() (values < 1 behave
+  /// as 1).  Collection is decomposed into per-episode RNG *slots* — slot k
+  /// of an iteration owns the stream derive_seed(s, k) for one seed s drawn
+  /// from the trainer RNG — and slot batches concatenate in fixed slot
+  /// order, cut at steps_per_iteration.  The slot decomposition never
+  /// depends on this knob (it only widens the wave of Env::clone()s running
+  /// on the pool), so training is bitwise identical for ANY shard count and
+  /// any worker count.  Sharded episodes execute on the num_workers pool.
+  int num_env_shards = 1;
 };
 
 struct PpoStats {

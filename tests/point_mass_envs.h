@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <memory>
 
 #include "rl/env.h"
 #include "util/rng.h"
@@ -20,12 +21,13 @@ class PointMassEnv final : public rl::Env {
   [[nodiscard]] std::size_t action_dim() const override { return 1; }
   [[nodiscard]] int max_episode_steps() const override { return 30; }
 
-  la::Vec reset(util::Rng& rng) override {
+ protected:
+  la::Vec do_reset(util::Rng& rng) override {
     x_ = rng.uniform(-1.0, 1.0);
     return {x_};
   }
 
-  rl::StepResult step(const la::Vec& action, util::Rng&) override {
+  rl::StepResult do_step(const la::Vec& action, util::Rng&) override {
     x_ += 0.2 * action[0];
     rl::StepResult result;
     result.next_state = {x_};
@@ -33,6 +35,10 @@ class PointMassEnv final : public rl::Env {
     result.terminal = std::abs(x_) > 3.0;
     if (result.terminal) result.reward = -10.0;
     return result;
+  }
+
+  [[nodiscard]] std::unique_ptr<rl::Env> do_clone() const override {
+    return std::make_unique<PointMassEnv>(*this);
   }
 
  private:
@@ -46,18 +52,23 @@ class DiscretePointMassEnv final : public rl::Env {
   [[nodiscard]] std::size_t action_dim() const override { return 3; }
   [[nodiscard]] int max_episode_steps() const override { return 30; }
 
-  la::Vec reset(util::Rng& rng) override {
+ protected:
+  la::Vec do_reset(util::Rng& rng) override {
     x_ = rng.uniform(-1.0, 1.0);
     return {x_};
   }
 
-  rl::StepResult step(const la::Vec& action, util::Rng&) override {
+  rl::StepResult do_step(const la::Vec& action, util::Rng&) override {
     const auto choice = static_cast<int>(action[0]);
     x_ += 0.15 * (choice - 1);
     rl::StepResult result;
     result.next_state = {x_};
     result.reward = 1.0 - x_ * x_;
     return result;
+  }
+
+  [[nodiscard]] std::unique_ptr<rl::Env> do_clone() const override {
+    return std::make_unique<DiscretePointMassEnv>(*this);
   }
 
  private:

@@ -154,6 +154,8 @@ TEST(SwitchingEnv, UsesExactlyOneExpert) {
   const auto result = env.step({0.0}, rng);
   if (!result.terminal) {
     EXPECT_NEAR(result.reward, 1.0, 1e-12);
+  } else {
+    (void)env.reset(rng);  // rearm: a terminal episode forbids stepping.
   }
   // Out-of-range index must throw.
   EXPECT_THROW((void)env.step({5.0}, rng), std::invalid_argument);

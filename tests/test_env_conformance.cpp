@@ -1,0 +1,141 @@
+// Instantiates the universal Env-conformance suite (env_conformance.h) for
+// every rl::Env implementation in the tree: the Section III-A adaptation
+// MDPs (MixingEnv — clean and with observation noise —, SwitchingEnv,
+// FiniteWeightedEnv), the per-expert DDPG task (ExpertTrainingEnv), and the
+// point-mass envs the RL suites train on.
+#include "env_conformance.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "control/polynomial_controller.h"
+#include "core/envs.h"
+#include "point_mass_envs.h"
+#include "sys/vanderpol.h"
+
+namespace cocktail {
+namespace {
+
+using testutil::EnvConformanceCase;
+
+/// Linear state feedback u = gain0*s0 + gain1*s1 (PolynomialController
+/// negates the gain matrix).
+ctrl::ControllerPtr feedback_expert(double gain0, double gain1,
+                                    const char* label) {
+  la::Matrix k(1, 2);
+  k(0, 0) = -gain0;
+  k(0, 1) = -gain1;
+  return std::make_shared<ctrl::PolynomialController>(
+      ctrl::PolynomialController::linear_feedback(k, label));
+}
+
+/// κ_stab = -(3 s0 + 4 s1): the stabilizing teacher of the pipeline tests.
+ctrl::ControllerPtr stabilizer() { return feedback_expert(-3.0, -4.0, "stab"); }
+/// κ_anti = +(6 s0 + 6 s1): positive feedback, exits X within an episode.
+ctrl::ControllerPtr destabilizer() { return feedback_expert(6.0, 6.0, "anti"); }
+
+std::vector<ctrl::ControllerPtr> expert_pair() {
+  return {stabilizer(), destabilizer()};
+}
+
+core::SafetyRewardConfig clean_reward() {
+  core::SafetyRewardConfig reward;
+  reward.boundary_margin = 0.0;
+  return reward;
+}
+
+std::vector<EnvConformanceCase> all_env_cases() {
+  std::vector<EnvConformanceCase> cases;
+
+  cases.push_back({
+      "PointMass",
+      [] { return std::make_unique<testutil::PointMassEnv>(); },
+      [](const la::Vec& s, int) { return la::Vec{-s[0]}; },
+      [](const la::Vec&, int) { return la::Vec{1.0}; },
+  });
+
+  cases.push_back({
+      "DiscretePointMass",
+      [] { return std::make_unique<testutil::DiscretePointMassEnv>(); },
+      [](const la::Vec& s, int) { return la::Vec{s[0] > 0.0 ? 0.0 : 2.0}; },
+      nullptr,  // never terminates: reward is dense, |x| unbounded but safe.
+  });
+
+  cases.push_back({
+      "ExpertTraining",
+      [] {
+        return std::make_unique<core::ExpertTrainingEnv>(
+            std::make_shared<sys::VanDerPol>(),
+            core::ExpertTrainingEnv::Config{});
+      },
+      // u = -(3 s0 + 4 s1), expressed in the [-1,1] action scale (|u| <= 20).
+      [](const la::Vec& s, int) {
+        return la::Vec{std::clamp(-(3.0 * s[0] + 4.0 * s[1]) / 20.0, -1.0,
+                                  1.0)};
+      },
+      // Saturated constant thrust drives the oscillator out of X.
+      [](const la::Vec&, int) { return la::Vec{1.0}; },
+  });
+
+  cases.push_back({
+      "Mixing",
+      [] {
+        return std::make_unique<core::MixingEnv>(
+            std::make_shared<sys::VanDerPol>(), expert_pair(), 1.5,
+            clean_reward());
+      },
+      // Weight 1.5 * 2/3 = 1 on the stabilizer, 0 on the destabilizer.
+      [](const la::Vec&, int) { return la::Vec{2.0 / 3.0, 0.0}; },
+      [](const la::Vec&, int) { return la::Vec{0.0, 2.0 / 3.0}; },
+  });
+
+  cases.push_back({
+      "MixingNoisyObservations",
+      [] {
+        core::SafetyRewardConfig reward = clean_reward();
+        reward.observation_noise = {0.03, 0.03};
+        return std::make_unique<core::MixingEnv>(
+            std::make_shared<sys::VanDerPol>(), expert_pair(), 1.5, reward);
+      },
+      [](const la::Vec&, int) { return la::Vec{2.0 / 3.0, 0.0}; },
+      [](const la::Vec&, int) { return la::Vec{0.0, 2.0 / 3.0}; },
+  });
+
+  cases.push_back({
+      "Switching",
+      [] {
+        return std::make_unique<core::SwitchingEnv>(
+            std::make_shared<sys::VanDerPol>(), expert_pair(),
+            clean_reward());
+      },
+      [](const la::Vec&, int) { return la::Vec{0.0}; },  // the stabilizer.
+      [](const la::Vec&, int) { return la::Vec{1.0}; },  // the destabilizer.
+  });
+
+  cases.push_back({
+      "FiniteWeighted",
+      [] {
+        return std::make_unique<core::FiniteWeightedEnv>(
+            std::make_shared<sys::VanDerPol>(), expert_pair(),
+            std::vector<la::Vec>{{1.0, 0.0}, {0.0, 1.0}, {0.5, 0.5}},
+            clean_reward());
+      },
+      [](const la::Vec&, int) { return la::Vec{0.0}; },  // pure stabilizer.
+      [](const la::Vec&, int) { return la::Vec{1.0}; },  // pure destabilizer.
+  });
+
+  return cases;
+}
+
+}  // namespace
+
+// The fixture lives in cocktail::testutil (env_conformance.h); gtest's
+// INSTANTIATE macro needs the unqualified fixture name in scope.
+namespace testutil {
+
+INSTANTIATE_TEST_SUITE_P(AllEnvs, EnvConformance,
+                         ::testing::ValuesIn(all_env_cases()), env_case_name);
+
+}  // namespace testutil
+}  // namespace cocktail

@@ -115,6 +115,8 @@ TEST(FiniteWeightedEnv, StepAppliesTableEntry) {
   const auto result = env.step({1.0}, rng);
   if (!result.terminal) {
     EXPECT_NEAR(result.reward, 1.0, 1e-12);
+  } else {
+    (void)env.reset(rng);  // rearm: a terminal episode forbids stepping.
   }
   EXPECT_THROW((void)env.step({99.0}, rng), std::invalid_argument);
 }

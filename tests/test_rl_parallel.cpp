@@ -1,12 +1,23 @@
-// Bitwise regression tests for the parallel PPO/DDPG minibatch gradients:
-// the per-sample gradient work inside one update fans across the pool with
-// per-chunk buffers merged on the fixed chunked-reduce tree, so a trained
-// network must be bitwise identical for any worker count (the same contract
-// test_core_distill pins for the distiller).
+// Bitwise regression tests for the parallel PPO/DDPG training paths:
+//   * minibatch gradients — the per-sample gradient work inside one update
+//     fans across the pool with per-chunk buffers merged on the fixed
+//     chunked-reduce tree, so a trained network must be bitwise identical
+//     for any worker count (the same contract test_core_distill pins for
+//     the distiller);
+//   * sharded collection — PPO collect() and DDPG's warmup exploration
+//     decompose into per-episode RNG slots merged in fixed slot order, so
+//     training must also be bitwise identical for any num_env_shards
+//     (1/2/8 sweeps below) and any worker count, including end-to-end
+//     through adaptive mixing + distillation (the golden pipeline check).
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
+#include <vector>
 
+#include "control/polynomial_controller.h"
+#include "core/distiller.h"
+#include "core/mixing.h"
 #include "nn/grad_reduce.h"
 #include "nn/loss.h"
 #include "nn/mlp.h"
@@ -14,6 +25,7 @@
 #include "rl/env.h"
 #include "rl/ppo.h"
 #include "rl_test_common.h"
+#include "sys/vanderpol.h"
 #include "util/thread_pool.h"
 
 namespace cocktail {
@@ -119,6 +131,156 @@ TEST(DdpgParallel, BitwiseIdenticalForAnyWorkerCount) {
     EXPECT_EQ(stats.episode_returns, ref_stats.episode_returns)
         << workers << " workers";
   }
+}
+
+// --- sharded collection golden-determinism sweeps --------------------------
+
+TEST(PpoGaussianSharded, BitwiseIdenticalForAnyShardCount) {
+  rl::PpoConfig config = tiny_ppo(31);
+  config.num_workers = 1;
+  config.num_env_shards = 1;
+  PointMassEnv env_ref;
+  rl::PpoGaussian reference(config);
+  const rl::PpoStats ref_stats = reference.train(env_ref);
+  // Shard and worker counts sweep together: the episode-slot decomposition
+  // must shield the results from both.
+  for (const auto& [shards, workers] : {std::pair{2, 2}, std::pair{8, 4}}) {
+    config.num_env_shards = shards;
+    config.num_workers = workers;
+    PointMassEnv env;
+    rl::PpoGaussian sharded(config);
+    const rl::PpoStats stats = sharded.train(env);
+    expect_same_net(sharded.policy().mean_net(), reference.policy().mean_net(),
+                    shards);
+    expect_same_net(sharded.value_net(), reference.value_net(), shards);
+    EXPECT_EQ(sharded.policy().log_std(), reference.policy().log_std())
+        << shards << " shards";
+    EXPECT_EQ(stats.iteration_mean_returns, ref_stats.iteration_mean_returns)
+        << shards << " shards";
+    EXPECT_EQ(stats.iteration_kls, ref_stats.iteration_kls)
+        << shards << " shards";
+  }
+}
+
+TEST(PpoCategoricalSharded, BitwiseIdenticalForAnyShardCount) {
+  rl::PpoConfig config = tiny_ppo(32);
+  config.num_workers = 1;
+  config.num_env_shards = 1;
+  DiscretePointMassEnv env_ref;
+  rl::PpoCategorical reference(config);
+  const rl::PpoStats ref_stats = reference.train(env_ref);
+  for (const auto& [shards, workers] : {std::pair{2, 2}, std::pair{8, 4}}) {
+    config.num_env_shards = shards;
+    config.num_workers = workers;
+    DiscretePointMassEnv env;
+    rl::PpoCategorical sharded(config);
+    const rl::PpoStats stats = sharded.train(env);
+    expect_same_net(sharded.policy().logits_net(),
+                    reference.policy().logits_net(), shards);
+    EXPECT_EQ(stats.iteration_mean_returns, ref_stats.iteration_mean_returns)
+        << shards << " shards";
+    EXPECT_EQ(stats.iteration_kls, ref_stats.iteration_kls)
+        << shards << " shards";
+  }
+}
+
+TEST(DdpgSharded, BitwiseIdenticalForAnyShardCount) {
+  rl::DdpgConfig config;
+  config.actor_hidden = {12, 12};
+  config.critic_hidden = {16, 16};
+  config.episodes = 12;
+  config.warmup_steps = 150;  // ~5 warmup episodes: several waves at 2 shards.
+  config.batch_size = 48;
+  config.seed = 33;
+  config.num_workers = 1;
+  config.num_env_shards = 1;
+  PointMassEnv env_ref;
+  rl::Ddpg reference(config);
+  const rl::DdpgStats ref_stats = reference.train(env_ref);
+  for (const auto& [shards, workers] : {std::pair{2, 2}, std::pair{8, 4}}) {
+    config.num_env_shards = shards;
+    config.num_workers = workers;
+    PointMassEnv env;
+    rl::Ddpg sharded(config);
+    const rl::DdpgStats stats = sharded.train(env);
+    expect_same_net(sharded.actor(), reference.actor(), shards);
+    expect_same_net(sharded.critic(), reference.critic(), shards);
+    EXPECT_EQ(stats.episode_returns, ref_stats.episode_returns)
+        << shards << " shards";
+  }
+}
+
+TEST(DdpgSharded, WarmupSplitAcrossRunCallsMatchesMonolithic) {
+  // The warmup slot cursor persists across run_episodes calls: consuming
+  // the warmup in two chunks (the checkpointed-trainer pattern) must replay
+  // the identical slot streams as one call.
+  rl::DdpgConfig config;
+  config.actor_hidden = {10};
+  config.critic_hidden = {12};
+  config.episodes = 10;
+  config.warmup_steps = 150;
+  config.batch_size = 32;
+  config.seed = 34;
+  config.num_env_shards = 4;
+  PointMassEnv env_a, env_b;
+  rl::Ddpg mono(config), chunked(config);
+  (void)mono.train(env_a);
+  chunked.initialize(env_b);
+  (void)chunked.run_episodes(env_b, 3);  // splits mid-warmup.
+  (void)chunked.run_episodes(env_b, 7);
+  expect_same_net(mono.actor(), chunked.actor(), 4);
+  expect_same_net(mono.critic(), chunked.critic(), 4);
+}
+
+TEST(ShardedPipelineGolden, MixingPlusDistillationIdenticalAcrossShardCounts) {
+  // End-to-end golden check: adaptive mixing (sharded PPO collection on the
+  // real MixingEnv) followed by robust distillation must produce bitwise
+  // identical distilled students for any env-shard count and for repeated
+  // same-seed runs.
+  const auto make_experts = [] {
+    la::Matrix stab(1, 2);
+    stab(0, 0) = 3.0;
+    stab(0, 1) = 4.0;
+    return std::vector<ctrl::ControllerPtr>{
+        std::make_shared<ctrl::PolynomialController>(
+            ctrl::PolynomialController::linear_feedback(stab, "stab")),
+        std::make_shared<ctrl::ZeroController>(2, 1)};
+  };
+  core::MixingConfig mixing;
+  mixing.ppo.policy_hidden = {8, 8};
+  mixing.ppo.value_hidden = {8, 8};
+  mixing.ppo.iterations = 2;
+  mixing.ppo.steps_per_iteration = 160;
+  mixing.ppo.update_epochs = 2;
+  mixing.ppo.minibatch = 32;
+  mixing.ppo.seed = 35;
+  mixing.snapshot.checkpoints = 1;
+  mixing.snapshot.eval_states = 16;
+
+  core::DistillConfig distill;
+  distill.teacher_rollouts = 2;
+  distill.uniform_samples = 120;
+  distill.student_hidden = {8};
+  distill.epochs = 3;
+  distill.seed = 36;
+
+  const auto run_once = [&](int shards) {
+    auto system = std::make_shared<sys::VanDerPol>();
+    core::MixingConfig config = mixing;
+    config.ppo.num_env_shards = shards;
+    const auto mixed =
+        core::train_adaptive_mixing(system, make_experts(), config);
+    const auto student =
+        core::distill(*system, *mixed.controller, distill, "golden");
+    return std::pair{mixed.controller, student.student};
+  };
+
+  const auto [teacher_1, student_1] = run_once(1);
+  const auto [teacher_2, student_2] = run_once(2);
+  const auto [teacher_2b, student_2b] = run_once(2);  // same-seed repeat.
+  expect_same_net(teacher_1->weight_net(), teacher_2->weight_net(), 2);
+  expect_same_net(student_1->net(), student_2->net(), 2);
+  expect_same_net(student_2->net(), student_2b->net(), 2);
 }
 
 TEST(ChunkedGradReducer, MergeMatchesSerialChunkTree) {
