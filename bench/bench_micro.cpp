@@ -41,6 +41,22 @@ void BM_MlpForward(benchmark::State& state) {
 }
 BENCHMARK(BM_MlpForward)->Arg(24)->Arg(64)->Arg(128);
 
+// Layer-wise GEMM batched inference (the serving runtime's hot kernel) vs
+// batch size (Arg).  Items/sec is states/sec; compare against BM_MlpForward
+// to read the batching win per sample.
+void BM_MlpForwardBatch(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const nn::Mlp net = nn::Mlp::make(4, {64, 64}, 1, nn::Activation::kTanh,
+                                    nn::Activation::kIdentity, 1);
+  la::Matrix x(batch, 4);
+  util::Rng rng(3);
+  for (auto& v : x.data()) v = rng.uniform(-1.0, 1.0);
+  for (auto _ : state) benchmark::DoNotOptimize(net.forward_batch(x));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_MlpForwardBatch)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
+
 void BM_MlpBackward(benchmark::State& state) {
   const auto width = static_cast<std::size_t>(state.range(0));
   const nn::Mlp net = nn::Mlp::make(4, {width, width}, 1,

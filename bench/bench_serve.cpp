@@ -1,0 +1,246 @@
+// Serving-runtime benchmark: throughput and latency of
+// serve::ControllerServer under open-loop (request flood) and closed-loop
+// (plant-in-the-loop clients) traffic, swept over micro-batch size and
+// worker count.
+//
+// Self-contained and cold-cache friendly: the served network is a synthetic
+// student on the Van der Pol plant with an LQR fallback, so no trained
+// artifacts are needed.  Reported per configuration: QPS, p50/p99 latency,
+// and the primary/fallback/batch counters.  Answers are bitwise independent
+// of the configuration (the serving determinism contract), so the sweep
+// measures cost only.
+//
+// Usage: bench_serve [--requests N] [--clients C] [--steps T]
+//        bench_serve --smoke        (tiny counts; the CI Release smoke run)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "control/lqr_controller.h"
+#include "control/nn_controller.h"
+#include "nn/mlp.h"
+#include "serve/controller_server.h"
+#include "serve/safety_monitor.h"
+#include "sys/vanderpol.h"
+#include "util/csv.h"
+#include "util/paths.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace cocktail;
+
+struct Options {
+  int requests = 20000;  ///< open-loop requests per configuration.
+  int clients = 8;       ///< concurrent submitter threads.
+  int steps = 200;       ///< closed-loop plant steps per client.
+};
+
+struct SweepPoint {
+  std::size_t max_batch;
+  int num_workers;
+  long linger_us;
+};
+
+struct Measured {
+  double seconds = 0.0;
+  serve::ServeCounters counters;
+  std::vector<double> latencies_us;  ///< sorted after measure().
+
+  [[nodiscard]] double qps() const {
+    return seconds > 0.0 ? static_cast<double>(latencies_us.size()) / seconds
+                         : 0.0;
+  }
+  [[nodiscard]] double percentile(double p) const {
+    if (latencies_us.empty()) return 0.0;
+    const auto rank = static_cast<std::size_t>(
+        p * static_cast<double>(latencies_us.size() - 1));
+    return latencies_us[rank];
+  }
+};
+
+serve::ServeConfig make_config(const SweepPoint& point) {
+  serve::ServeConfig config;
+  config.max_batch = point.max_batch;
+  config.num_workers = point.num_workers;
+  config.max_wait = std::chrono::microseconds(point.linger_us);
+  return config;
+}
+
+std::shared_ptr<const ctrl::NnController> make_student() {
+  nn::Mlp net = nn::Mlp::make(2, {24}, 1, nn::Activation::kTanh,
+                              nn::Activation::kIdentity, 7);
+  return std::make_shared<const ctrl::NnController>(std::move(net),
+                                                    la::Vec{1.0}, "k*");
+}
+
+void register_vdp(serve::ControllerServer& server, const sys::VanDerPol& vdp) {
+  server.register_controller(
+      "vdp", make_student(),
+      std::make_shared<ctrl::LqrController>(
+          ctrl::LqrController::synthesize(vdp, 1.0, 0.5)),
+      serve::SafetyMonitor::inside_box(vdp.safe_region(), 0.05));
+}
+
+/// Request flood: `clients` threads submit pre-sampled states as fast as
+/// the server accepts them; latency is submit()→get() per request.
+Measured open_loop(const Options& options, const SweepPoint& point) {
+  const sys::VanDerPol vdp;
+  serve::ControllerServer server(make_config(point));
+  register_vdp(server, vdp);
+
+  util::Rng rng(424242);
+  std::vector<la::Vec> states;
+  states.reserve(static_cast<std::size_t>(options.requests));
+  const sys::Box sampling = vdp.sampling_region();
+  for (int k = 0; k < options.requests; ++k)
+    states.push_back(sampling.sample(rng));
+
+  Measured measured;
+  std::vector<std::vector<double>> per_client(
+      static_cast<std::size_t>(options.clients));
+  util::Stopwatch timer;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < options.clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto& latencies = per_client[static_cast<std::size_t>(c)];
+      for (std::size_t i = static_cast<std::size_t>(c); i < states.size();
+           i += static_cast<std::size_t>(options.clients)) {
+        const auto start = std::chrono::steady_clock::now();
+        la::Vec action = server.submit("vdp", states[i]).get();
+        const auto stop = std::chrono::steady_clock::now();
+        (void)action;
+        latencies.push_back(
+            std::chrono::duration<double, std::micro>(stop - start).count());
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  measured.seconds = timer.seconds();
+  measured.counters = server.counters("vdp");
+  for (auto& latencies : per_client)
+    measured.latencies_us.insert(measured.latencies_us.end(),
+                                 latencies.begin(), latencies.end());
+  std::sort(measured.latencies_us.begin(), measured.latencies_us.end());
+  return measured;
+}
+
+/// Plant-in-the-loop: each client simulates its own Van der Pol episode and
+/// must wait for the served action before it can step — the serving pattern
+/// where latency, not throughput, gates control quality.
+Measured closed_loop(const Options& options, const SweepPoint& point) {
+  const sys::VanDerPol vdp;
+  serve::ControllerServer server(make_config(point));
+  register_vdp(server, vdp);
+
+  Measured measured;
+  std::vector<std::vector<double>> per_client(
+      static_cast<std::size_t>(options.clients));
+  util::Stopwatch timer;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < options.clients; ++c) {
+    threads.emplace_back([&, c] {
+      util::Rng rng(7000 + static_cast<std::uint64_t>(c));
+      la::Vec s = vdp.sample_initial_state(rng);
+      auto& latencies = per_client[static_cast<std::size_t>(c)];
+      for (int t = 0; t < options.steps; ++t) {
+        const auto start = std::chrono::steady_clock::now();
+        const la::Vec u = server.submit("vdp", s).get();
+        const auto stop = std::chrono::steady_clock::now();
+        latencies.push_back(
+            std::chrono::duration<double, std::micro>(stop - start).count());
+        s = vdp.step(s, vdp.clip_control(u), vdp.sample_disturbance(rng));
+        if (!vdp.is_safe(s)) s = vdp.sample_initial_state(rng);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  measured.seconds = timer.seconds();
+  measured.counters = server.counters("vdp");
+  for (auto& latencies : per_client)
+    measured.latencies_us.insert(measured.latencies_us.end(),
+                                 latencies.begin(), latencies.end());
+  std::sort(measured.latencies_us.begin(), measured.latencies_us.end());
+  return measured;
+}
+
+void report(util::CsvWriter& csv, const char* mode, const SweepPoint& point,
+            const Measured& measured) {
+  std::printf("%-11s %9zu %8d %9ld %11.0f %10.1f %10.1f %9llu %9llu\n", mode,
+              point.max_batch, point.num_workers, point.linger_us,
+              measured.qps(), measured.percentile(0.50),
+              measured.percentile(0.99),
+              static_cast<unsigned long long>(measured.counters.fallback),
+              static_cast<unsigned long long>(measured.counters.batches));
+  csv.row_text({mode, std::to_string(point.max_batch),
+                std::to_string(point.num_workers),
+                std::to_string(point.linger_us),
+                util::format_number(measured.qps()),
+                util::format_number(measured.percentile(0.50)),
+                util::format_number(measured.percentile(0.99)),
+                std::to_string(measured.counters.fallback),
+                std::to_string(measured.counters.batches)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next_int = [&](int fallback) {
+      return i + 1 < argc ? std::atoi(argv[++i]) : fallback;
+    };
+    if (arg == "--smoke") {
+      // Tiny counts for the CI Release smoke run: exercises every sweep
+      // point end to end in well under a second.
+      options.requests = 200;
+      options.clients = 4;
+      options.steps = 20;
+    } else if (arg == "--requests") {
+      options.requests = next_int(options.requests);
+    } else if (arg == "--clients") {
+      options.clients = next_int(options.clients);
+    } else if (arg == "--steps") {
+      options.steps = next_int(options.steps);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_serve [--requests N] [--clients C] "
+                   "[--steps T] [--smoke]\n");
+      return 2;
+    }
+  }
+  if (options.requests <= 0 || options.clients <= 0 || options.steps <= 0) {
+    std::fprintf(stderr, "bench_serve: counts must be positive\n");
+    return 2;
+  }
+
+  std::printf(
+      "Controller serving runtime: micro-batched inference with "
+      "certified-safety fallback\n"
+      "open-loop: %d requests / %d clients; closed-loop: %d clients x %d "
+      "steps\n\n",
+      options.requests, options.clients, options.clients, options.steps);
+  std::printf("%-11s %9s %8s %9s %11s %10s %10s %9s %9s\n", "mode", "batch",
+              "workers", "linger_us", "qps", "p50_us", "p99_us", "fallback",
+              "batches");
+
+  util::CsvWriter csv(util::output_dir() + "/bench_serve.csv",
+                      {"mode", "max_batch", "num_workers", "linger_us", "qps",
+                       "p50_us", "p99_us", "fallback", "batches"});
+
+  const std::vector<SweepPoint> sweep = {
+      {1, 1, 0}, {8, 1, 200}, {32, 1, 200}, {32, 2, 200}, {32, 4, 200}};
+  for (const SweepPoint& point : sweep) {
+    report(csv, "open-loop", point, open_loop(options, point));
+    report(csv, "closed-loop", point, closed_loop(options, point));
+  }
+  std::printf("\nCSV written to %s\n",
+              (util::output_dir() + "/bench_serve.csv").c_str());
+  return 0;
+}

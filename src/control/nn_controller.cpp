@@ -20,6 +20,19 @@ la::Vec NnController::act(const la::Vec& s) const {
   return la::hadamard(scale_, net_.forward(s));
 }
 
+std::vector<la::Vec> NnController::act_batch(
+    const std::vector<la::Vec>& states) const {
+  if (states.empty()) return {};
+  la::Matrix y = net_.forward_batch(la::Matrix::from_rows(states));
+  // scale_[c] * y(r, c): the same multiplication la::hadamard performs in
+  // the per-sample path (IEEE multiplication commutes bitwise).
+  y.scale_columns(scale_);
+  std::vector<la::Vec> actions;
+  actions.reserve(states.size());
+  for (std::size_t r = 0; r < y.rows(); ++r) actions.push_back(y.row(r));
+  return actions;
+}
+
 std::size_t NnController::state_dim() const { return net_.input_dim(); }
 
 std::size_t NnController::control_dim() const { return net_.output_dim(); }

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "control/controller.h"
 #include "nn/mlp.h"
@@ -20,6 +21,12 @@ class NnController final : public Controller {
   NnController(nn::Mlp net, la::Vec out_scale, std::string label = "nn");
 
   [[nodiscard]] la::Vec act(const la::Vec& s) const override;
+  /// Batched inference over N states via nn::Mlp::forward_batch; entry k is
+  /// bitwise identical to act(states[k]) for any batch composition — the
+  /// serving runtime's micro-batcher relies on this to keep batched answers
+  /// equal to the synchronous per-request path.
+  [[nodiscard]] std::vector<la::Vec> act_batch(
+      const std::vector<la::Vec>& states) const;
   [[nodiscard]] std::size_t state_dim() const override;
   [[nodiscard]] std::size_t control_dim() const override;
   [[nodiscard]] std::string describe() const override { return label_; }

@@ -14,11 +14,11 @@
 namespace cocktail::core {
 namespace {
 
-/// Cache file for a trained expert.
+/// Cache file for a trained expert (versioned via util::model_cache_path so
+/// RNG-stream changes invalidate stale experts automatically).
 std::string expert_cache_path(const std::string& system_name,
                               const std::string& label, std::uint64_t seed) {
-  return util::model_dir() + "/" + system_name + "_" + label + "_seed" +
-         std::to_string(seed) + ".nnctl";
+  return util::model_cache_path(system_name, label, seed, "nnctl");
 }
 
 }  // namespace

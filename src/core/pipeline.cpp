@@ -12,8 +12,9 @@ namespace {
 
 std::string cache_path(const std::string& system_name, const std::string& kind,
                        std::uint64_t seed, const std::string& ext) {
-  return util::model_dir() + "/" + system_name + "_" + kind + "_seed" +
-         std::to_string(seed) + "." + ext;
+  // Versioned by util::kModelCacheVersion: RNG-stream or format changes bump
+  // the version and stale artifacts stop matching instead of poisoning runs.
+  return util::model_cache_path(system_name, kind, seed, ext);
 }
 
 std::shared_ptr<const ctrl::NnController> load_or_distill(

@@ -1,5 +1,6 @@
 #include "la/matrix.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -20,6 +21,17 @@ Matrix::Matrix(std::size_t rows, std::size_t cols, Vec data)
 Matrix Matrix::identity(std::size_t n) {
   Matrix m(n, n);
   for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::from_rows(const std::vector<Vec>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows.front().size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != m.cols_)
+      throw std::invalid_argument("Matrix::from_rows: ragged rows");
+    std::copy(rows[r].begin(), rows[r].end(), &m.data_[r * m.cols_]);
+  }
   return m;
 }
 
@@ -82,6 +94,25 @@ Matrix Matrix::matmul(const Matrix& other) const {
   return out;
 }
 
+Matrix Matrix::matmul_nt(const Matrix& other) const {
+  if (cols_ != other.cols_)
+    throw std::invalid_argument("Matrix::matmul_nt: dimension mismatch");
+  Matrix out(rows_, other.rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* arow = &data_[r * cols_];
+    double* orow = &out.data_[r * other.rows_];
+    for (std::size_t i = 0; i < other.rows_; ++i) {
+      // Same scalar accumulator over increasing k as Matrix::matvec — the
+      // bitwise-identity contract batched inference relies on.
+      const double* brow = &other.data_[i * other.cols_];
+      double acc = 0.0;
+      for (std::size_t k = 0; k < cols_; ++k) acc += brow[k] * arow[k];
+      orow[i] = acc;
+    }
+  }
+  return out;
+}
+
 Matrix Matrix::transpose() const {
   Matrix out(cols_, rows_);
   for (std::size_t r = 0; r < rows_; ++r)
@@ -135,6 +166,30 @@ void Matrix::add_outer(double k, const Vec& col, const Vec& row) {
     double* out = &data_[r * cols_];
     for (std::size_t c = 0; c < cols_; ++c) out[c] += kc * row[c];
   }
+}
+
+void Matrix::add_row_broadcast(const Vec& v) {
+  if (v.size() != cols_)
+    throw std::invalid_argument("Matrix::add_row_broadcast: length mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double* row = &data_[r * cols_];
+    for (std::size_t c = 0; c < cols_; ++c) row[c] += v[c];
+  }
+}
+
+void Matrix::scale_columns(const Vec& v) {
+  if (v.size() != cols_)
+    throw std::invalid_argument("Matrix::scale_columns: length mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double* row = &data_[r * cols_];
+    for (std::size_t c = 0; c < cols_; ++c) row[c] *= v[c];
+  }
+}
+
+Vec Matrix::row(std::size_t r) const {
+  if (r >= rows_) throw std::out_of_range("Matrix::row: index out of range");
+  return Vec(data_.begin() + static_cast<std::ptrdiff_t>(r * cols_),
+             data_.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols_));
 }
 
 double Matrix::frobenius_norm() const { return std::sqrt(sum_squares()); }

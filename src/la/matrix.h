@@ -23,6 +23,9 @@ class Matrix {
   Matrix(std::size_t rows, std::size_t cols, Vec data);
 
   [[nodiscard]] static Matrix identity(std::size_t n);
+  /// Stacks `rows` (all the same length) into a rows.size() x rows[0].size()
+  /// matrix — the batch-assembly entry point of the serving runtime.
+  [[nodiscard]] static Matrix from_rows(const std::vector<Vec>& rows);
   /// Matrix whose single row is `v`.
   [[nodiscard]] static Matrix row_vector(const Vec& v);
   /// Matrix whose single column is `v`.
@@ -46,6 +49,11 @@ class Matrix {
   /// y = M^T x  (used heavily by backprop).
   [[nodiscard]] Vec matvec_transpose(const Vec& x) const;
   [[nodiscard]] Matrix matmul(const Matrix& other) const;
+  /// C = this * other^T without materializing the transpose.  Row r of the
+  /// result accumulates exactly like `other.matvec(row r of this)` — a
+  /// scalar accumulator over increasing k — so batched NN layers built on
+  /// this GEMM are bitwise identical per row to the per-sample matvec path.
+  [[nodiscard]] Matrix matmul_nt(const Matrix& other) const;
   [[nodiscard]] Matrix transpose() const;
   [[nodiscard]] Matrix operator+(const Matrix& other) const;
   [[nodiscard]] Matrix operator-(const Matrix& other) const;
@@ -58,6 +66,13 @@ class Matrix {
 
   /// Rank-1 update: this += k * col * row^T  (outer product accumulate).
   void add_outer(double k, const Vec& col, const Vec& row);
+
+  /// Adds `v` to every row (bias broadcast): this(r, c) += v[c].
+  void add_row_broadcast(const Vec& v);
+  /// Scales column c of every row by `v[c]` (per-output scaling broadcast).
+  void scale_columns(const Vec& v);
+  /// Copy of row r as a vector.
+  [[nodiscard]] Vec row(std::size_t r) const;
 
   [[nodiscard]] double frobenius_norm() const;
   /// Sum of squared entries (the L2 regularizer term ||W||_2^2).

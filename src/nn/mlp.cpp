@@ -111,6 +111,21 @@ la::Vec Mlp::forward(const la::Vec& x) const {
   return a;
 }
 
+la::Matrix Mlp::forward_batch(const la::Matrix& x) const {
+  if (x.cols() != input_dim())
+    throw std::invalid_argument("Mlp::forward_batch: input dimension mismatch");
+  la::Matrix a = x;
+  for (const auto& layer : layers_) {
+    // z(r, i) = sum_c a(r, c) * w(i, c) + b[i], accumulated exactly like the
+    // scalar path's matvec + axpy, then the same element-wise activation.
+    la::Matrix z = a.matmul_nt(layer.w);
+    z.add_row_broadcast(layer.b);
+    for (auto& v : z.data()) v = activate(layer.act, v);
+    a = std::move(z);
+  }
+  return a;
+}
+
 la::Vec Mlp::forward(const la::Vec& x, Workspace& ws) const {
   ws.pre.resize(layers_.size());
   ws.act.resize(layers_.size() + 1);
@@ -286,19 +301,37 @@ Mlp Mlp::load(std::istream& in) {
     throw std::runtime_error("Mlp::load: bad header");
   std::size_t num_layers = 0;
   in >> num_layers;
+  if (!in || num_layers == 0)
+    throw std::runtime_error("Mlp::load: truncated stream");
   Mlp net;
   net.layers_.reserve(num_layers);
   for (std::size_t l = 0; l < num_layers; ++l) {
     std::size_t rows = 0, cols = 0;
     std::string act_name;
     in >> rows >> cols >> act_name;
+    if (!in || rows == 0 || cols == 0)
+      throw std::runtime_error("Mlp::load: truncated stream");
     DenseLayer layer;
-    layer.act = activation_from_string(act_name);
+    try {
+      layer.act = activation_from_string(act_name);
+    } catch (const std::invalid_argument&) {
+      // Normalize to the load-failure type: a half-read token from a
+      // truncated stream lands here too.
+      throw std::runtime_error("Mlp::load: unknown activation '" + act_name +
+                               "'");
+    }
     layer.w = la::Matrix(rows, cols);
     for (auto& v : layer.w.data()) in >> v;
     layer.b = la::zeros(rows);
     for (auto& v : layer.b) in >> v;
     if (!in) throw std::runtime_error("Mlp::load: truncated stream");
+    // A layer must consume exactly what the previous one produced; a file
+    // whose shapes do not chain would crash (or worse, silently mis-index)
+    // at inference time.
+    if (l > 0 && cols != net.layers_.back().w.rows())
+      throw std::runtime_error("Mlp::load: layer dimension mismatch");
+    if (!layer.w.all_finite() || !la::all_finite(layer.b))
+      throw std::runtime_error("Mlp::load: non-finite parameter");
     net.layers_.push_back(std::move(layer));
   }
   return net;

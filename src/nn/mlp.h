@@ -77,6 +77,14 @@ class Mlp {
   /// Plain inference.
   [[nodiscard]] la::Vec forward(const la::Vec& x) const;
 
+  /// Batched inference: `x` is N x input_dim (one sample per row); returns
+  /// N x output_dim.  Each layer is one GEMM (la::Matrix::matmul_nt) plus a
+  /// bias broadcast, with the same per-element accumulation order as the
+  /// scalar path, so row r is **bitwise identical** to forward(x.row(r)) —
+  /// the contract the serving runtime's micro-batching rests on (pinned by
+  /// test_nn's ForwardBatch suite).
+  [[nodiscard]] la::Matrix forward_batch(const la::Matrix& x) const;
+
   /// Per-sample forward pass cache for backpropagation.
   struct Workspace {
     std::vector<la::Vec> pre;  ///< pre-activations z_l = W_l a_{l-1} + b_l.
@@ -125,6 +133,9 @@ class Mlp {
 
   void save(std::ostream& out) const;
   void save_file(const std::string& path) const;
+  /// Throws std::runtime_error on a bad header, a truncated stream,
+  /// inter-layer dimension mismatches, or non-finite parameters — a cached
+  /// artifact that fails any of these must never reach inference.
   static Mlp load(std::istream& in);
   static Mlp load_file(const std::string& path);
 

@@ -1,0 +1,244 @@
+#include "serve/controller_server.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace cocktail::serve {
+namespace {
+
+void bump_max(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
+  std::uint64_t seen = slot.load(std::memory_order_relaxed);
+  while (seen < value &&
+         !slot.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+ControllerServer::ControllerServer(ServeConfig config)
+    : config_(config),
+      workers_(config.synchronous ? 1 : config.num_workers) {
+  if (config_.max_batch == 0) config_.max_batch = 1;
+  if (config_.rows_per_chunk == 0) config_.rows_per_chunk = 1;
+  if (!config_.synchronous)
+    dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+ControllerServer::~ControllerServer() { stop(); }
+
+void ControllerServer::register_controller(
+    const std::string& name, std::shared_ptr<const ctrl::NnController> primary,
+    ctrl::ControllerPtr fallback, SafetyMonitor monitor) {
+  if (primary == nullptr || fallback == nullptr)
+    throw std::invalid_argument(
+        "ControllerServer: a served controller needs both a primary network "
+        "and a fallback expert");
+  if (fallback->state_dim() != primary->state_dim() ||
+      fallback->control_dim() != primary->control_dim())
+    throw std::invalid_argument(
+        "ControllerServer: fallback dimensions do not match the primary "
+        "network for '" + name + "'");
+  auto entry = std::make_unique<Entry>();
+  entry->primary = std::move(primary);
+  entry->fallback = std::move(fallback);
+  entry->monitor = std::move(monitor);
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  if (!entries_.emplace(name, std::move(entry)).second)
+    throw std::invalid_argument("ControllerServer: '" + name +
+                                "' is already registered");
+}
+
+ControllerServer::Entry& ControllerServer::find_entry(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end())
+    throw std::invalid_argument("ControllerServer: unknown controller '" +
+                                name + "'");
+  return *it->second;
+}
+
+std::future<la::Vec> ControllerServer::submit(const std::string& name,
+                                              la::Vec state) {
+  Entry& entry = find_entry(name);
+  if (state.size() != entry.primary->state_dim())
+    throw std::invalid_argument(
+        "ControllerServer::submit: state dimension mismatch for '" + name +
+        "'");
+  Request request;
+  request.entry = &entry;
+  // Routing is decided per request at submission: the certificate either
+  // covers this exact state or the fallback answers.  Batch composition can
+  // never influence it.
+  request.to_fallback = !entry.monitor.certified(state);
+  request.state = std::move(state);
+  std::future<la::Vec> future = request.result.get_future();
+  if (config_.synchronous) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      if (stopping_)
+        throw std::runtime_error("ControllerServer::submit after stop");
+    }
+    execute_inline(request);
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (stopping_)
+      throw std::runtime_error("ControllerServer::submit after stop");
+    queue_.push_back(std::move(request));
+  }
+  queue_cv_.notify_all();
+  return future;
+}
+
+la::Vec ControllerServer::act_reference(const std::string& name,
+                                        const la::Vec& state) const {
+  const Entry& entry = find_entry(name);
+  if (state.size() != entry.primary->state_dim())
+    throw std::invalid_argument(
+        "ControllerServer::act_reference: state dimension mismatch for '" +
+        name + "'");
+  if (!entry.monitor.certified(state)) return entry.fallback->act(state);
+  return entry.primary->act(state);
+}
+
+ServeCounters ControllerServer::counters(const std::string& name) const {
+  const Entry& entry = find_entry(name);
+  ServeCounters out;
+  out.primary = entry.primary_count.load(std::memory_order_relaxed);
+  out.fallback = entry.fallback_count.load(std::memory_order_relaxed);
+  out.batches = entry.batch_count.load(std::memory_order_relaxed);
+  out.max_batch_rows = entry.max_batch_rows.load(std::memory_order_relaxed);
+  return out;
+}
+
+void ControllerServer::execute_inline(Request& request) {
+  try {
+    if (request.to_fallback) {
+      request.entry->fallback_count.fetch_add(1, std::memory_order_relaxed);
+      request.result.set_value(request.entry->fallback->act(request.state));
+    } else {
+      request.entry->primary_count.fetch_add(1, std::memory_order_relaxed);
+      request.entry->batch_count.fetch_add(1, std::memory_order_relaxed);
+      bump_max(request.entry->max_batch_rows, 1);
+      request.result.set_value(request.entry->primary->act(request.state));
+    }
+  } catch (...) {
+    request.result.set_exception(std::current_exception());
+  }
+}
+
+void ControllerServer::execute_slice(std::vector<Request>& slice) {
+  // Partition the drained slice: fallback requests run per sample (a
+  // fallback is an arbitrary Controller with no batch path); certified
+  // requests group per served controller into one GEMM batch each,
+  // preserving arrival order within the group.
+  std::vector<Request*> fallbacks;
+  std::vector<std::pair<Entry*, std::vector<Request*>>> groups;
+  for (Request& request : slice) {
+    if (request.to_fallback) {
+      fallbacks.push_back(&request);
+      continue;
+    }
+    auto it = std::find_if(groups.begin(), groups.end(), [&](const auto& g) {
+      return g.first == request.entry;
+    });
+    if (it == groups.end()) {
+      groups.emplace_back(request.entry, std::vector<Request*>());
+      it = std::prev(groups.end());
+    }
+    it->second.push_back(&request);
+  }
+
+  util::ThreadPool* pool = workers_.pool();
+
+  util::run_chunks(pool, fallbacks.size(), [&](std::size_t i) {
+    Request& request = *fallbacks[i];
+    request.entry->fallback_count.fetch_add(1, std::memory_order_relaxed);
+    try {
+      request.result.set_value(request.entry->fallback->act(request.state));
+    } catch (...) {
+      request.result.set_exception(std::current_exception());
+    }
+  });
+
+  for (auto& [entry, requests] : groups) {
+    entry->primary_count.fetch_add(requests.size(),
+                                   std::memory_order_relaxed);
+    entry->batch_count.fetch_add(1, std::memory_order_relaxed);
+    bump_max(entry->max_batch_rows, requests.size());
+    // Rows are independent and each row is bitwise identical to the scalar
+    // path, so slicing the batch across workers cannot change any answer.
+    const std::size_t grain = config_.rows_per_chunk;
+    const std::size_t chunks = (requests.size() + grain - 1) / grain;
+    util::run_chunks(pool, chunks, [&, entry = entry,
+                                    reqs = &requests](std::size_t c) {
+      const std::size_t lo = c * grain;
+      const std::size_t hi = std::min(reqs->size(), lo + grain);
+      std::vector<la::Vec> states;
+      states.reserve(hi - lo);
+      // The state is dead once the batch is assembled: move, don't copy.
+      for (std::size_t i = lo; i < hi; ++i)
+        states.push_back(std::move((*reqs)[i]->state));
+      try {
+        std::vector<la::Vec> actions = entry->primary->act_batch(states);
+        for (std::size_t i = lo; i < hi; ++i)
+          (*reqs)[i]->result.set_value(std::move(actions[i - lo]));
+      } catch (...) {
+        for (std::size_t i = lo; i < hi; ++i)
+          (*reqs)[i]->result.set_exception(std::current_exception());
+      }
+    });
+  }
+}
+
+void ControllerServer::dispatch_loop() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  for (;;) {
+    queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;  // stop() raced a spurious wake; queue drained.
+      continue;
+    }
+    if (!stopping_ && config_.max_wait.count() > 0 &&
+        queue_.size() < config_.max_batch) {
+      // Linger briefly: one bounded wait buys a fuller GEMM.  A full batch
+      // or shutdown cuts the wait short.
+      queue_cv_.wait_for(lock, config_.max_wait, [&] {
+        return stopping_ || queue_.size() >= config_.max_batch;
+      });
+    }
+    std::vector<Request> slice;
+    const std::size_t take = std::min(queue_.size(), config_.max_batch);
+    slice.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      slice.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    ++inflight_;
+    lock.unlock();
+    execute_slice(slice);
+    lock.lock();
+    --inflight_;
+    if (queue_.empty() && inflight_ == 0) drain_cv_.notify_all();
+  }
+}
+
+void ControllerServer::drain() {
+  if (config_.synchronous) return;
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  drain_cv_.wait(lock, [&] { return queue_.empty() && inflight_ == 0; });
+}
+
+void ControllerServer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+}  // namespace cocktail::serve

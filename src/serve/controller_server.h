@@ -1,0 +1,146 @@
+// Controller-serving runtime: micro-batched inference with a
+// certified-safety fallback.
+//
+// The pipeline's end product κ* is a single small network with a certified
+// Lipschitz bound — ideal for high-throughput serving, since N concurrent
+// requests collapse into one layer-wise GEMM (nn::Mlp::forward_batch).
+// This server accepts concurrent submit() calls, and a dispatcher thread
+// drains the request queue into micro-batches (bounded by `max_batch`,
+// lingering up to `max_wait` for a partial batch to fill) executed on a
+// util::ThreadPool.  Each served controller pairs the network with a
+// SafetyMonitor and a trusted fallback expert: requests whose state leaves
+// the certified region are answered by the fallback instead, and
+// per-controller primary/fallback counters are exposed for metrics.
+//
+// Determinism: batching never changes an answer.  forward_batch rows are
+// bitwise identical to the scalar forward path, so every request receives
+// exactly the action the synchronous path (`synchronous = true`, or
+// act_reference) produces, for ANY batch-size / worker / arrival-order
+// configuration — pinned by test_serve.  Only *which requests share a GEMM*
+// is scheduling-dependent, and that is observable solely through the batch
+// counters.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "control/controller.h"
+#include "control/nn_controller.h"
+#include "la/vec.h"
+#include "serve/safety_monitor.h"
+#include "util/thread_pool.h"
+
+namespace cocktail::serve {
+
+struct ServeConfig {
+  /// Upper bound on requests drained into one dispatch cycle.
+  std::size_t max_batch = 32;
+  /// How long the dispatcher lingers for a partial batch to fill before
+  /// executing what it has (0 = dispatch whatever is queued immediately).
+  std::chrono::microseconds max_wait{200};
+  /// util::WorkerScope convention for batch execution: 0 = shared pool,
+  /// 1 = serial on the dispatcher thread, k > 1 = dedicated pool of k.
+  int num_workers = 1;
+  /// Rows per GEMM sub-batch when a primary batch fans across workers.
+  std::size_t rows_per_chunk = 16;
+  /// Synchronous mode: submit() executes inline on the calling thread
+  /// (batch of one, no dispatcher thread) — the deterministic reference
+  /// configuration for tests.
+  bool synchronous = false;
+};
+
+/// Monotonic per-controller serving counters (the metrics surface).
+struct ServeCounters {
+  std::uint64_t primary = 0;   ///< requests answered by the served network.
+  std::uint64_t fallback = 0;  ///< requests routed to the fallback expert.
+  std::uint64_t batches = 0;   ///< primary micro-batches executed.
+  std::uint64_t max_batch_rows = 0;  ///< largest primary batch observed.
+};
+
+class ControllerServer {
+ public:
+  explicit ControllerServer(ServeConfig config = {});
+  ~ControllerServer();
+
+  ControllerServer(const ControllerServer&) = delete;
+  ControllerServer& operator=(const ControllerServer&) = delete;
+
+  /// Registers a served controller under `name`.  `primary` is the batched
+  /// network (κ*), `fallback` the trusted expert answering uncertified
+  /// requests; both are required, their dimensions must agree, and `name`
+  /// must be new.  Registration is allowed while serving.
+  void register_controller(const std::string& name,
+                           std::shared_ptr<const ctrl::NnController> primary,
+                           ctrl::ControllerPtr fallback, SafetyMonitor monitor);
+
+  /// Enqueues one inference request; the future carries the action (or the
+  /// exception the controller threw).  Safe to call from any number of
+  /// threads.  Throws std::invalid_argument for an unknown name or a state
+  /// of the wrong dimension, std::runtime_error after stop().
+  [[nodiscard]] std::future<la::Vec> submit(const std::string& name,
+                                            la::Vec state);
+
+  /// The pure per-request reference path: same routing, same answer, no
+  /// queue, no counters.  What submit() must bitwise-reproduce.
+  [[nodiscard]] la::Vec act_reference(const std::string& name,
+                                      const la::Vec& state) const;
+
+  [[nodiscard]] ServeCounters counters(const std::string& name) const;
+
+  /// Blocks until every submitted request has been answered.
+  void drain();
+
+  /// Drains outstanding requests and joins the dispatcher; subsequent
+  /// submit() calls throw.  Idempotent; invoked by the destructor.
+  void stop();
+
+ private:
+  struct Entry {
+    std::shared_ptr<const ctrl::NnController> primary;
+    ctrl::ControllerPtr fallback;
+    SafetyMonitor monitor;
+    std::atomic<std::uint64_t> primary_count{0};
+    std::atomic<std::uint64_t> fallback_count{0};
+    std::atomic<std::uint64_t> batch_count{0};
+    std::atomic<std::uint64_t> max_batch_rows{0};
+  };
+
+  struct Request {
+    Entry* entry = nullptr;
+    la::Vec state;
+    bool to_fallback = false;
+    std::promise<la::Vec> result;
+  };
+
+  [[nodiscard]] Entry& find_entry(const std::string& name) const;
+  void execute_inline(Request& request);
+  void execute_slice(std::vector<Request>& slice);
+  void dispatch_loop();
+
+  ServeConfig config_;
+  util::WorkerScope workers_;
+
+  mutable std::mutex registry_mutex_;
+  std::unordered_map<std::string, std::unique_ptr<Entry>> entries_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::condition_variable drain_cv_;
+  std::deque<Request> queue_;
+  std::size_t inflight_ = 0;
+  bool stopping_ = false;
+  std::thread dispatcher_;
+};
+
+}  // namespace cocktail::serve

@@ -1,0 +1,48 @@
+#include "serve/registry.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/paths.h"
+
+namespace cocktail::serve {
+
+bool cached_controller_exists(const std::string& system_name,
+                              const std::string& kind, std::uint64_t seed) {
+  return util::file_exists(
+      util::model_cache_path(system_name, kind, seed, "nnctl"));
+}
+
+std::shared_ptr<const ctrl::NnController> load_cached_controller(
+    const std::string& system_name, const std::string& kind,
+    std::uint64_t seed, std::string label) {
+  const std::string path =
+      util::model_cache_path(system_name, kind, seed, "nnctl");
+  if (!util::file_exists(path))
+    throw std::runtime_error(
+        "serve::load_cached_controller: no cached artifact at " + path +
+        " (run the pipeline for this system/seed first; note the cache is "
+        "versioned — a version bump invalidates older artifacts)");
+  return std::make_shared<const ctrl::NnController>(
+      ctrl::NnController::load_file(path, std::move(label)));
+}
+
+void register_pipeline_student(ControllerServer& server,
+                               const std::string& name,
+                               const core::PipelineArtifacts& artifacts,
+                               SafetyMonitor monitor) {
+  if (artifacts.robust_student == nullptr || artifacts.experts.empty())
+    throw std::invalid_argument(
+        "serve::register_pipeline_student: artifacts are missing the robust "
+        "student or the experts");
+  auto student = std::dynamic_pointer_cast<const ctrl::NnController>(
+      artifacts.robust_student);
+  if (student == nullptr)
+    throw std::invalid_argument(
+        "serve::register_pipeline_student: robust student is not an "
+        "NnController");
+  server.register_controller(name, std::move(student),
+                             artifacts.experts.front(), std::move(monitor));
+}
+
+}  // namespace cocktail::serve

@@ -1,0 +1,44 @@
+// Artifact loading for the serving runtime.
+//
+// The pipeline caches every trained network under COCKTAIL_MODEL_DIR with
+// util::model_cache_path naming (`<system>_<kind>_v<version>_seed<seed>`).
+// A serving process must never train: it loads the distilled student κ*
+// (kind "studentR", or "studentD" for the direct baseline) plus a fallback
+// expert straight from that cache and refuses to start when they are
+// missing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "control/nn_controller.h"
+#include "core/pipeline.h"
+#include "serve/controller_server.h"
+
+namespace cocktail::serve {
+
+/// True when the cached artifact `<system>_<kind>_v<ver>_seed<seed>.nnctl`
+/// exists.
+[[nodiscard]] bool cached_controller_exists(const std::string& system_name,
+                                            const std::string& kind,
+                                            std::uint64_t seed);
+
+/// Loads a cached NnController artifact by (system, kind, seed) from the
+/// model cache; `label` becomes the controller's describe() string.  Throws
+/// std::runtime_error when the artifact is missing or fails validation
+/// (truncated, mis-shaped, or non-finite files never reach serving).
+[[nodiscard]] std::shared_ptr<const ctrl::NnController> load_cached_controller(
+    const std::string& system_name, const std::string& kind,
+    std::uint64_t seed, std::string label);
+
+/// Registers `artifacts.robust_student` (κ*) under `name` with the
+/// pipeline's first expert as the certified-safety fallback — the serving
+/// shape the paper's verifiability argument suggests: one verified network
+/// in-regime, one trusted expert out-of-regime.
+void register_pipeline_student(ControllerServer& server,
+                               const std::string& name,
+                               const core::PipelineArtifacts& artifacts,
+                               SafetyMonitor monitor);
+
+}  // namespace cocktail::serve

@@ -1,0 +1,70 @@
+// Online safety monitor for served controllers.
+//
+// The paper's verifiability argument (footnote 1) certifies the distilled
+// student κ* only inside a verified region — the control-invariant set XI of
+// Definition 1 (verify::invariant) or, more coarsely, a box validated by
+// reachability.  A request whose state lies outside that region voids the
+// certificate, so the serving runtime routes it to a trusted fallback expert
+// instead: the improper-RL safety pattern (Zaki et al., "Actor-Critic based
+// Improper Reinforcement Learning") of falling back on a validated base
+// controller whenever the learned policy leaves its certified regime.
+//
+// Observation uncertainty composes soundly: if the observed state may be off
+// by up to `margin` in the inf-norm, certify only states whose whole
+// ±margin box lies in the certified region, and bound the action drift via
+// the controller's certified Lipschitz constant (action_deviation_bound).
+#pragma once
+
+#include <memory>
+
+#include "control/controller.h"
+#include "la/vec.h"
+#include "sys/system.h"
+#include "verify/invariant.h"
+
+namespace cocktail::serve {
+
+class SafetyMonitor {
+ public:
+  /// Default-constructed monitor certifies nothing: every request falls
+  /// back.  The safe default for a controller without a certificate.
+  SafetyMonitor() = default;
+
+  /// Certifies every state (pure-throughput serving and benches).
+  [[nodiscard]] static SafetyMonitor trust_all();
+
+  /// Certifies states at least `margin` inside `box` on every dimension
+  /// (unbounded dimensions always pass).  `margin` is the inf-norm bound on
+  /// observation error the deployment assumes.
+  [[nodiscard]] static SafetyMonitor inside_box(sys::Box box,
+                                                double margin = 0.0);
+
+  /// Certifies states whose surrounding ±margin box lies entirely in the
+  /// computed invariant set: every grid cell the box overlaps must be a
+  /// member (not just the corners — a wide margin can straddle interior
+  /// cells).  Requires a completed result; throws std::invalid_argument
+  /// otherwise.
+  [[nodiscard]] static SafetyMonitor inside_invariant(
+      verify::InvariantResult result, sys::Box domain, double margin = 0.0);
+
+  /// True when serving `state` is covered by the certificate.  A state of
+  /// the wrong dimension is never certified.
+  [[nodiscard]] bool certified(const la::Vec& state) const;
+
+  /// Sound bound on the served action's drift under observation uncertainty
+  /// ||δ||_inf <= epsilon_inf, from the controller's certified Lipschitz
+  /// bound L:  ||κ(s+δ) − κ(s)||_2  <=  L · sqrt(d) · epsilon_inf.
+  /// Negative when the controller carries no certificate (Table I's "-").
+  [[nodiscard]] static double action_deviation_bound(
+      const ctrl::Controller& controller, double epsilon_inf);
+
+ private:
+  enum class Mode { kNone, kAll, kBox, kInvariant };
+
+  Mode mode_ = Mode::kNone;
+  sys::Box box_;  ///< kBox: the certified box; kInvariant: the grid domain.
+  double margin_ = 0.0;
+  std::shared_ptr<const verify::InvariantResult> invariant_;
+};
+
+}  // namespace cocktail::serve

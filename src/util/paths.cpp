@@ -29,6 +29,14 @@ std::string model_dir() {
   return dir;
 }
 
+std::string model_cache_path(const std::string& system_name,
+                             const std::string& kind, std::uint64_t seed,
+                             const std::string& ext) {
+  return model_dir() + "/" + system_name + "_" + kind + "_v" +
+         std::to_string(kModelCacheVersion) + "_seed" + std::to_string(seed) +
+         "." + ext;
+}
+
 std::string output_dir() {
   static const std::string dir =
       ensure_dir(env_or("COCKTAIL_OUT_DIR", "cocktail_out"));

@@ -6,12 +6,31 @@
 // variables.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 namespace cocktail::util {
 
 /// Directory for serialized networks (created on demand).
 [[nodiscard]] std::string model_dir();
+
+/// Format/RNG-stream generation of the model cache.  Bump it whenever a
+/// change makes previously cached artifacts non-reproducible or unreadable —
+/// a serialization format change, or a change to any RNG stream that feeds
+/// training (the stale-cache breaks PRs 2-4 disclosed) — so old files are
+/// simply never matched again instead of requiring a manual `rm`.  The
+/// current value corresponds to the PR 4 collection RNG streams.
+inline constexpr int kModelCacheVersion = 4;
+
+/// Canonical cache filename for a trained artifact:
+///   <model_dir()>/<system>_<kind>_v<kModelCacheVersion>_seed<seed>.<ext>
+/// Every producer and consumer of the `cocktail_models` cache (pipeline
+/// stages, expert training, the serving runtime) must build paths through
+/// this helper so a version bump invalidates all of them at once.
+[[nodiscard]] std::string model_cache_path(const std::string& system_name,
+                                           const std::string& kind,
+                                           std::uint64_t seed,
+                                           const std::string& ext);
 
 /// Directory for bench CSV/figure output (created on demand).
 [[nodiscard]] std::string output_dir();

@@ -21,6 +21,11 @@ std::size_t resolve_thread_count(int requested) {
   return hw == 0 ? 1 : hw;
 }
 
+/// Pool whose worker_loop is running on this thread (nullptr on non-worker
+/// threads) — the nested-submission detector.  One level is enough: a
+/// worker thread belongs to exactly one pool.
+thread_local const ThreadPool* tl_worker_pool = nullptr;
+
 }  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -39,7 +44,19 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
+bool ThreadPool::inside_worker() const noexcept {
+  return tl_worker_pool == this;
+}
+
 void ThreadPool::enqueue(std::function<void()> job) {
+  // A worker enqueueing into its own pool and waiting on the result is the
+  // classic self-deadlock (ROADMAP's "nested-batch" hazard): with every
+  // worker blocked the queue never drains.  Reject it at the source; the
+  // nested-aware paths (parallel_for, run_chunks) never reach here.
+  if (inside_worker())
+    throw std::logic_error(
+        "ThreadPool: nested submission from a pool worker (use parallel_for, "
+        "which runs nested batches inline, or submit to a different pool)");
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_)
@@ -50,6 +67,7 @@ void ThreadPool::enqueue(std::function<void()> job) {
 }
 
 void ThreadPool::worker_loop() {
+  tl_worker_pool = this;
   for (;;) {
     std::function<void()> job;
     {
@@ -66,6 +84,16 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& f) {
   if (n == 0) return;
+
+  // Nested batch from one of our own workers: run it inline.  The worker
+  // would have driven part of the batch anyway and cannot safely enqueue
+  // into its own queue (see enqueue); results are identical because index
+  // order never affects them (parallel_for bodies are independent by
+  // contract).
+  if (inside_worker()) {
+    for (std::size_t i = 0; i < n; ++i) f(i);
+    return;
+  }
 
   // Shared by the caller and every enqueued driver; shared_ptr keeps it
   // alive for drivers that wake up after the caller already returned.

@@ -37,7 +37,12 @@ class ThreadPool {
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
   /// Enqueues a nullary callable; the future carries its result or
-  /// exception.  Throws std::runtime_error after shutdown began.
+  /// exception.  Throws std::runtime_error after shutdown began and
+  /// std::logic_error when called from one of this pool's own workers:
+  /// a worker that submits and then waits on the future can deadlock the
+  /// pool (every worker blocked on work only a worker could run), so
+  /// nested submission is rejected at the source.  Submitting to a
+  /// *different* pool remains allowed.
   template <class F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
     using R = std::invoke_result_t<std::decay_t<F>>;
@@ -52,7 +57,15 @@ class ThreadPool {
   /// (atomic counter), so uneven per-index cost balances automatically.
   /// The first exception thrown by any f(i) is rethrown in the caller after
   /// in-flight indices drain; remaining unclaimed indices are skipped.
+  /// Called from one of this pool's own workers (a nested batch), it
+  /// degrades to running every index inline on that worker instead of
+  /// enqueueing — same results, no queue interaction, no deadlock risk.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& f);
+
+  /// True when the calling thread is one of this pool's workers.  The
+  /// nested-submission guard: submit() throws and parallel_for() runs
+  /// inline when this holds.
+  [[nodiscard]] bool inside_worker() const noexcept;
 
   /// Deterministic parallel reduction over [0, n); see util::chunked_reduce
   /// (this is the pool-backed entry point).  Bitwise identical results for

@@ -81,6 +81,46 @@ TEST(NnControllerTest, SaveLoadRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(NnControllerTest, ActBatchIsBitwiseIdenticalToAct) {
+  // The serving contract at the controller layer: batch answers equal the
+  // per-sample path exactly, including the non-unit out_scale broadcast.
+  nn::Mlp net = nn::Mlp::make(3, {12, 12}, 2, nn::Activation::kTanh,
+                              nn::Activation::kIdentity, 21);
+  const ctrl::NnController c(std::move(net), {2.5, -0.75}, "k");
+  util::Rng rng(8);
+  std::vector<Vec> states;
+  for (int k = 0; k < 33; ++k) states.push_back(rng.normal_vec(3));
+  const std::vector<Vec> actions = c.act_batch(states);
+  ASSERT_EQ(actions.size(), states.size());
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    const Vec expected = c.act(states[i]);
+    ASSERT_EQ(actions[i].size(), expected.size());
+    for (std::size_t j = 0; j < expected.size(); ++j)
+      ASSERT_EQ(actions[i][j], expected[j]) << "state " << i;
+  }
+  EXPECT_TRUE(c.act_batch({}).empty());
+}
+
+TEST(NnControllerTest, SaveLoadRoundTripPreservesNonUnitOutScale) {
+  nn::Mlp net = nn::Mlp::make(2, {6}, 2, nn::Activation::kTanh,
+                              nn::Activation::kTanh, 13);
+  const Vec scale = {7.5, -0.25};
+  const ctrl::NnController original(std::move(net), scale, "k");
+  const std::string path = "test_nnctl_scale_roundtrip.nnctl";
+  original.save_file(path);
+  const ctrl::NnController loaded =
+      ctrl::NnController::load_file(path, "k-loaded");
+  ASSERT_EQ(loaded.out_scale().size(), scale.size());
+  for (std::size_t i = 0; i < scale.size(); ++i)
+    EXPECT_DOUBLE_EQ(loaded.out_scale()[i], scale[i]);
+  util::Rng rng(6);
+  for (int k = 0; k < 10; ++k) {
+    const Vec s = rng.normal_vec(2);
+    EXPECT_EQ(loaded.act(s), original.act(s));
+  }
+  std::remove(path.c_str());
+}
+
 TEST(PolynomialControllerTest, EvaluatesMonomials) {
   // u = 2*s0^2*s1 - 3*s1.
   std::vector<std::vector<ctrl::Monomial>> terms(1);

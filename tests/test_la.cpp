@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "la/matrix.h"
 #include "la/solve.h"
@@ -139,6 +140,49 @@ TEST(MatrixTest, SumSquaresAndFrobenius) {
   Matrix m(1, 2, Vec{3.0, 4.0});
   EXPECT_DOUBLE_EQ(m.sum_squares(), 25.0);
   EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+}
+
+TEST(MatrixTest, FromRowsStacksAndRejectsRagged) {
+  const Matrix m = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}});
+  ASSERT_EQ(m.rows(), 3u);
+  ASSERT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+  EXPECT_EQ(m.row(1), (Vec{3.0, 4.0}));
+  EXPECT_TRUE(Matrix::from_rows({}).empty());
+  EXPECT_THROW((void)Matrix::from_rows({{1.0, 2.0}, {3.0}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)m.row(3), std::out_of_range);
+}
+
+TEST(MatrixTest, MatmulNtRowsAreBitwiseMatvecs) {
+  // The serving-runtime contract: row r of A * B^T must equal B.matvec(row
+  // r of A) exactly — same scalar accumulation order, same bits.
+  util::Rng rng(19);
+  Matrix a(5, 7);
+  Matrix b(4, 7);
+  for (auto& v : a.data()) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : b.data()) v = rng.uniform(-1.0, 1.0);
+  const Matrix c = a.matmul_nt(b);
+  ASSERT_EQ(c.rows(), 5u);
+  ASSERT_EQ(c.cols(), 4u);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const Vec expected = b.matvec(a.row(r));
+    for (std::size_t j = 0; j < expected.size(); ++j)
+      ASSERT_EQ(c(r, j), expected[j]) << "row " << r << " col " << j;
+  }
+  EXPECT_THROW((void)a.matmul_nt(Matrix(4, 6)), std::invalid_argument);
+}
+
+TEST(MatrixTest, RowBroadcastOps) {
+  Matrix m(2, 3, Vec{1.0, 2.0, 3.0, 4.0, 5.0, 6.0});
+  m.add_row_broadcast({10.0, 20.0, 30.0});
+  EXPECT_EQ(m.row(0), (Vec{11.0, 22.0, 33.0}));
+  EXPECT_EQ(m.row(1), (Vec{14.0, 25.0, 36.0}));
+  m.scale_columns({2.0, 0.5, -1.0});
+  EXPECT_EQ(m.row(0), (Vec{22.0, 11.0, -33.0}));
+  EXPECT_EQ(m.row(1), (Vec{28.0, 12.5, -36.0}));
+  EXPECT_THROW(m.add_row_broadcast({1.0}), std::invalid_argument);
+  EXPECT_THROW(m.scale_columns({1.0}), std::invalid_argument);
 }
 
 TEST(Solve, KnownSystem) {

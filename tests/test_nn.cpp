@@ -216,6 +216,93 @@ TEST(MlpTest, LoadRejectsBadHeader) {
   EXPECT_THROW(Mlp::load(buffer), std::runtime_error);
 }
 
+TEST(MlpTest, LoadRejectsTruncatedStream) {
+  const Mlp net = Mlp::make(3, {7, 5}, 2, Activation::kRelu,
+                            Activation::kTanh, 11);
+  std::stringstream buffer;
+  net.save(buffer);
+  const std::string full = buffer.str();
+  // Cut the payload at several depths: mid-weights, mid-bias, after the
+  // header only.  Every truncation must throw, never return a half-read net.
+  for (const double fraction : {0.2, 0.5, 0.9}) {
+    std::stringstream cut(
+        full.substr(0, static_cast<std::size_t>(fraction * full.size())));
+    EXPECT_THROW(Mlp::load(cut), std::runtime_error) << fraction;
+  }
+  std::stringstream header_only("cocktail-mlp v1\n");
+  EXPECT_THROW(Mlp::load(header_only), std::runtime_error);
+}
+
+TEST(MlpTest, LoadRejectsLayerDimensionMismatch) {
+  // Layer 0 produces 2 outputs; layer 1 claims 3 inputs.
+  std::stringstream buffer(
+      "cocktail-mlp v1\n"
+      "2\n"
+      "2 1 tanh\n"
+      "0.5\n-0.5\n"
+      "0.1 0.2\n"
+      "1 3 identity\n"
+      "0.1 0.2 0.3\n"
+      "0.0\n");
+  EXPECT_THROW(Mlp::load(buffer), std::runtime_error);
+}
+
+TEST(MlpTest, LoadRejectsNonFiniteWeights) {
+  std::stringstream nan_weight(
+      "cocktail-mlp v1\n"
+      "1\n"
+      "1 2 identity\n"
+      "0.5 nan\n"
+      "0.0\n");
+  EXPECT_THROW(Mlp::load(nan_weight), std::runtime_error);
+  std::stringstream inf_bias(
+      "cocktail-mlp v1\n"
+      "1\n"
+      "1 2 identity\n"
+      "0.5 0.25\n"
+      "inf\n");
+  EXPECT_THROW(Mlp::load(inf_bias), std::runtime_error);
+}
+
+TEST(MlpTest, ForwardBatchIsBitwiseIdenticalToScalarForward) {
+  // The serving runtime's contract: batching must never change an answer.
+  // Sweep shapes and activations; every row of every batch must match the
+  // per-sample path exactly (EXPECT_EQ, not NEAR).
+  struct Case {
+    std::vector<std::size_t> hidden;
+    Activation hidden_act;
+    Activation out_act;
+  };
+  const std::vector<Case> cases = {
+      {{16}, Activation::kTanh, Activation::kIdentity},
+      {{24, 24}, Activation::kRelu, Activation::kTanh},
+      {{8, 8, 8}, Activation::kSigmoid, Activation::kIdentity},
+  };
+  util::Rng rng(31);
+  for (const Case& c : cases) {
+    const Mlp net = Mlp::make(4, c.hidden, 3, c.hidden_act, c.out_act, 77);
+    for (const std::size_t batch : {1u, 2u, 17u}) {
+      la::Matrix x(batch, 4);
+      for (auto& v : x.data()) v = rng.uniform(-2.0, 2.0);
+      const la::Matrix y = net.forward_batch(x);
+      ASSERT_EQ(y.rows(), batch);
+      ASSERT_EQ(y.cols(), 3u);
+      for (std::size_t r = 0; r < batch; ++r) {
+        const Vec row = net.forward(x.row(r));
+        for (std::size_t i = 0; i < row.size(); ++i)
+          ASSERT_EQ(y(r, i), row[i]) << "row " << r << " out " << i;
+      }
+    }
+  }
+}
+
+TEST(MlpTest, ForwardBatchRejectsWrongInputWidth) {
+  const Mlp net = Mlp::make(3, {4}, 1, Activation::kTanh,
+                            Activation::kIdentity, 5);
+  EXPECT_THROW((void)net.forward_batch(la::Matrix(2, 4)),
+               std::invalid_argument);
+}
+
 TEST(Optimizer, AdamMinimizesQuadratic) {
   // Fit y = net(x) to y* = 3x - 1 on fixed points; Adam must reach tiny loss.
   Mlp net = Mlp::make(1, {8}, 1, Activation::kTanh, Activation::kIdentity, 13);

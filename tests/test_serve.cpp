@@ -1,0 +1,459 @@
+// Tests for the serving runtime (src/serve): SafetyMonitor region
+// semantics, micro-batched dispatch bitwise-matching the synchronous
+// reference path across batch-size/worker/linger configurations, fallback
+// routing with exact counters, and cached-artifact loading.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "control/controller.h"
+#include "control/nn_controller.h"
+#include "nn/mlp.h"
+#include "serve/controller_server.h"
+#include "serve/registry.h"
+#include "serve/safety_monitor.h"
+#include "sys/registry.h"
+#include "util/paths.h"
+#include "util/rng.h"
+
+namespace cocktail {
+namespace {
+
+using la::Vec;
+
+/// Fallback whose output is unmistakable: u = {kMark}.  Lets tests verify a
+/// request really was answered by the fallback, not by a near-zero network.
+class MarkerController final : public ctrl::Controller {
+ public:
+  static constexpr double kMark = 42.25;
+
+  MarkerController(std::size_t state_dim, std::size_t control_dim)
+      : state_dim_(state_dim), control_dim_(control_dim) {}
+
+  [[nodiscard]] Vec act(const Vec&) const override {
+    return la::constant(control_dim_, kMark);
+  }
+  [[nodiscard]] std::size_t state_dim() const override { return state_dim_; }
+  [[nodiscard]] std::size_t control_dim() const override {
+    return control_dim_;
+  }
+  [[nodiscard]] std::string describe() const override { return "marker"; }
+
+ private:
+  std::size_t state_dim_;
+  std::size_t control_dim_;
+};
+
+/// Fallback that always throws — exception-propagation coverage.
+class ThrowingController final : public ctrl::Controller {
+ public:
+  [[nodiscard]] Vec act(const Vec&) const override {
+    throw std::runtime_error("fallback boom");
+  }
+  [[nodiscard]] std::size_t state_dim() const override { return 2; }
+  [[nodiscard]] std::size_t control_dim() const override { return 1; }
+  [[nodiscard]] std::string describe() const override { return "throwing"; }
+};
+
+std::shared_ptr<const ctrl::NnController> make_student(std::uint64_t seed = 9) {
+  nn::Mlp net = nn::Mlp::make(2, {16}, 1, nn::Activation::kTanh,
+                              nn::Activation::kIdentity, seed);
+  return std::make_shared<const ctrl::NnController>(std::move(net),
+                                                    Vec{2.5}, "k*");
+}
+
+sys::Box unit_box() {
+  return sys::Box{{-1.0, -1.0}, {1.0, 1.0}};
+}
+
+// --- SafetyMonitor ---------------------------------------------------------
+
+TEST(SafetyMonitor, DefaultCertifiesNothing) {
+  const serve::SafetyMonitor monitor;
+  EXPECT_FALSE(monitor.certified({0.0, 0.0}));
+}
+
+TEST(SafetyMonitor, TrustAllCertifiesEverything) {
+  const auto monitor = serve::SafetyMonitor::trust_all();
+  EXPECT_TRUE(monitor.certified({1e9, -1e9}));
+}
+
+TEST(SafetyMonitor, BoxMembershipWithMargin) {
+  const auto plain = serve::SafetyMonitor::inside_box(unit_box());
+  EXPECT_TRUE(plain.certified({0.99, -0.99}));
+  EXPECT_FALSE(plain.certified({1.01, 0.0}));
+
+  const auto shrunk = serve::SafetyMonitor::inside_box(unit_box(), 0.1);
+  EXPECT_TRUE(shrunk.certified({0.89, -0.89}));
+  EXPECT_FALSE(shrunk.certified({0.95, 0.0}));  // inside box, outside margin.
+}
+
+TEST(SafetyMonitor, WrongDimensionIsNeverCertified) {
+  const auto monitor = serve::SafetyMonitor::inside_box(unit_box());
+  EXPECT_FALSE(monitor.certified({0.0}));
+  EXPECT_FALSE(monitor.certified({0.0, 0.0, 0.0}));
+}
+
+TEST(SafetyMonitor, NegativeMarginThrows) {
+  EXPECT_THROW((void)serve::SafetyMonitor::inside_box(unit_box(), -0.1),
+               std::invalid_argument);
+}
+
+verify::InvariantResult checkerboard_invariant() {
+  // 2x2 grid over [-1,1]^2; only the lower-left and upper-right cells are
+  // invariant members (flattened dim-0-fastest: cells 0 and 3).
+  verify::InvariantResult result;
+  result.grid = {2, 2};
+  result.member = {1, 0, 0, 1};
+  result.completed = true;
+  return result;
+}
+
+TEST(SafetyMonitor, InvariantMembershipFollowsTheGrid) {
+  const auto monitor = serve::SafetyMonitor::inside_invariant(
+      checkerboard_invariant(), unit_box());
+  EXPECT_TRUE(monitor.certified({-0.5, -0.5}));   // cell 0: member.
+  EXPECT_TRUE(monitor.certified({0.5, 0.5}));     // cell 3: member.
+  EXPECT_FALSE(monitor.certified({0.5, -0.5}));   // cell 1: removed.
+  EXPECT_FALSE(monitor.certified({-0.5, 0.5}));   // cell 2: removed.
+  EXPECT_FALSE(monitor.certified({1.5, 0.5}));    // outside the domain.
+}
+
+TEST(SafetyMonitor, InvariantMarginChecksTheWholeUncertaintyBox) {
+  const auto monitor = serve::SafetyMonitor::inside_invariant(
+      checkerboard_invariant(), unit_box(), 0.2);
+  // Deep inside the member cell: the whole +/-0.2 box stays in cell 0.
+  EXPECT_TRUE(monitor.certified({-0.5, -0.5}));
+  // Near the cell boundary: a corner of the uncertainty box crosses into
+  // the removed cell 1, so the certificate no longer covers the request.
+  EXPECT_FALSE(monitor.certified({-0.1, -0.5}));
+}
+
+TEST(SafetyMonitor, WideMarginCannotSkipInteriorCells) {
+  // Soundness regression: a margin wider than half a cell straddles cells
+  // no corner of the uncertainty box lands in.  3x3 grid over [-1.5,1.5]^2
+  // with only the center cell removed; from (0,0) with margin 1.0 every
+  // corner lies in a member cell, but the center cell itself is not one —
+  // the certificate must NOT cover the request.
+  verify::InvariantResult result;
+  result.grid = {3, 3};
+  result.member.assign(9, 1);
+  result.member[4] = 0;  // center cell (k = (1,1), dim-0-fastest).
+  result.completed = true;
+  const sys::Box domain{{-1.5, -1.5}, {1.5, 1.5}};
+  const auto wide =
+      serve::SafetyMonitor::inside_invariant(result, domain, 1.0);
+  EXPECT_FALSE(wide.certified({0.0, 0.0}));
+  const auto narrow =
+      serve::SafetyMonitor::inside_invariant(result, domain, 0.4);
+  // A box fully inside member cells is still certified.
+  EXPECT_TRUE(narrow.certified({-1.0, -1.0}));
+  // An uncertainty box leaving the domain is never certified.
+  EXPECT_FALSE(narrow.certified({-1.4, 0.9}));
+}
+
+TEST(SafetyMonitor, IncompleteInvariantIsRejected) {
+  verify::InvariantResult incomplete = checkerboard_invariant();
+  incomplete.completed = false;
+  EXPECT_THROW((void)serve::SafetyMonitor::inside_invariant(incomplete,
+                                                            unit_box()),
+               std::invalid_argument);
+}
+
+TEST(SafetyMonitor, ActionDeviationBoundUsesTheCertifiedLipschitz) {
+  const auto student = make_student();
+  const double lip = student->lipschitz_bound();
+  ASSERT_GT(lip, 0.0);
+  EXPECT_DOUBLE_EQ(
+      serve::SafetyMonitor::action_deviation_bound(*student, 0.05),
+      lip * std::sqrt(2.0) * 0.05);
+  const MarkerController uncertified(2, 1);
+  EXPECT_LT(serve::SafetyMonitor::action_deviation_bound(uncertified, 0.05),
+            0.0);
+}
+
+// --- ControllerServer: synchronous mode ------------------------------------
+
+serve::ServeConfig sync_config() {
+  serve::ServeConfig config;
+  config.synchronous = true;
+  return config;
+}
+
+TEST(ControllerServer, SynchronousPrimaryAndFallbackRouting) {
+  serve::ControllerServer server(sync_config());
+  const auto student = make_student();
+  server.register_controller(
+      "vdp", student, std::make_shared<MarkerController>(2, 1),
+      serve::SafetyMonitor::inside_box(unit_box()));
+
+  const Vec inside = {0.3, -0.4};
+  const Vec outside = {2.0, 0.0};
+  auto in_future = server.submit("vdp", inside);
+  auto out_future = server.submit("vdp", outside);
+  ASSERT_EQ(in_future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+
+  // In-regime: exactly the network's action.  Out-of-regime: verifiably the
+  // fallback's answer.
+  EXPECT_EQ(in_future.get(), student->act(inside));
+  EXPECT_EQ(out_future.get(), Vec{MarkerController::kMark});
+
+  const auto counters = server.counters("vdp");
+  EXPECT_EQ(counters.primary, 1u);
+  EXPECT_EQ(counters.fallback, 1u);
+  EXPECT_EQ(counters.batches, 1u);
+  EXPECT_EQ(counters.max_batch_rows, 1u);
+}
+
+TEST(ControllerServer, ReferencePathTakesNoCounters) {
+  serve::ControllerServer server(sync_config());
+  const auto student = make_student();
+  server.register_controller(
+      "vdp", student, std::make_shared<MarkerController>(2, 1),
+      serve::SafetyMonitor::inside_box(unit_box()));
+  EXPECT_EQ(server.act_reference("vdp", {0.3, -0.4}),
+            student->act({0.3, -0.4}));
+  EXPECT_EQ(server.act_reference("vdp", {2.0, 0.0}),
+            Vec{MarkerController::kMark});
+  EXPECT_EQ(server.counters("vdp").primary, 0u);
+  EXPECT_EQ(server.counters("vdp").fallback, 0u);
+}
+
+TEST(ControllerServer, RegistrationAndSubmitValidation) {
+  serve::ControllerServer server(sync_config());
+  const auto student = make_student();
+  const auto fallback = std::make_shared<MarkerController>(2, 1);
+  server.register_controller("vdp", student, fallback,
+                             serve::SafetyMonitor::trust_all());
+
+  EXPECT_THROW((void)server.submit("nope", {0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)server.submit("vdp", {0.0}), std::invalid_argument);
+  EXPECT_THROW((void)server.act_reference("vdp", {0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(server.register_controller("vdp", student, fallback,
+                                          serve::SafetyMonitor::trust_all()),
+               std::invalid_argument);
+  EXPECT_THROW(server.register_controller("null", nullptr, fallback,
+                                          serve::SafetyMonitor::trust_all()),
+               std::invalid_argument);
+  EXPECT_THROW(server.register_controller("nofb", student, nullptr,
+                                          serve::SafetyMonitor::trust_all()),
+               std::invalid_argument);
+  EXPECT_THROW(
+      server.register_controller("dims", student,
+                                 std::make_shared<MarkerController>(3, 1),
+                                 serve::SafetyMonitor::trust_all()),
+      std::invalid_argument);
+}
+
+TEST(ControllerServer, ControllerExceptionsTravelThroughTheFuture) {
+  serve::ControllerServer server(sync_config());
+  server.register_controller("vdp", make_student(),
+                             std::make_shared<ThrowingController>(),
+                             serve::SafetyMonitor());  // everything falls back.
+  auto future = server.submit("vdp", {0.0, 0.0});
+  EXPECT_THROW((void)future.get(), std::runtime_error);
+}
+
+// --- ControllerServer: asynchronous micro-batching -------------------------
+
+/// The acceptance pin: N concurrent submissions across any batch-size /
+/// worker / linger configuration return exactly the actions the synchronous
+/// path produces, and out-of-invariant states are verifiably answered by
+/// the fallback.
+TEST(ControllerServer, AsyncMatchesSynchronousForAnyConfiguration) {
+  // Reference answers from a synchronous server.
+  serve::ControllerServer reference(sync_config());
+  const auto student = make_student();
+  const auto monitor = serve::SafetyMonitor::inside_box(unit_box());
+  reference.register_controller(
+      "vdp", student, std::make_shared<MarkerController>(2, 1), monitor);
+
+  // Mixed workload: ~2/3 certified states, ~1/3 outside the box.
+  util::Rng rng(2024);
+  std::vector<Vec> states;
+  std::size_t expected_fallback = 0;
+  for (int k = 0; k < 96; ++k) {
+    Vec s = {rng.uniform(-1.5, 1.5), rng.uniform(-1.5, 1.5)};
+    if (!monitor.certified(s)) ++expected_fallback;
+    states.push_back(std::move(s));
+  }
+  ASSERT_GT(expected_fallback, 0u);
+  ASSERT_LT(expected_fallback, states.size());
+  std::vector<Vec> expected;
+  expected.reserve(states.size());
+  for (const Vec& s : states) expected.push_back(reference.act_reference("vdp", s));
+
+  struct Sweep {
+    std::size_t max_batch;
+    int num_workers;
+    long linger_us;
+  };
+  const std::vector<Sweep> sweeps = {
+      {1, 1, 0}, {4, 2, 200}, {64, 1, 0}, {64, 8, 200}, {16, 0, 50}};
+  for (const Sweep& sweep : sweeps) {
+    serve::ServeConfig config;
+    config.max_batch = sweep.max_batch;
+    config.num_workers = sweep.num_workers;
+    config.max_wait = std::chrono::microseconds(sweep.linger_us);
+    config.rows_per_chunk = 8;
+    serve::ControllerServer server(config);
+    server.register_controller(
+        "vdp", student, std::make_shared<MarkerController>(2, 1), monitor);
+
+    // Four submitter threads interleave their requests arbitrarily.
+    std::vector<std::future<Vec>> futures(states.size());
+    std::vector<std::thread> submitters;
+    const std::size_t stripe = states.size() / 4;
+    for (std::size_t t = 0; t < 4; ++t) {
+      submitters.emplace_back([&, t] {
+        const std::size_t lo = t * stripe;
+        const std::size_t hi = (t == 3) ? states.size() : lo + stripe;
+        for (std::size_t i = lo; i < hi; ++i)
+          futures[i] = server.submit("vdp", states[i]);
+      });
+    }
+    for (auto& thread : submitters) thread.join();
+
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      const Vec action = futures[i].get();
+      ASSERT_EQ(action.size(), expected[i].size());
+      for (std::size_t c = 0; c < action.size(); ++c)
+        ASSERT_EQ(action[c], expected[i][c])
+            << "state " << i << ", max_batch " << sweep.max_batch << ", "
+            << sweep.num_workers << " workers";
+    }
+
+    // Counters are exact for any batching: every request took exactly one
+    // of the two paths.
+    const auto counters = server.counters("vdp");
+    EXPECT_EQ(counters.fallback, expected_fallback);
+    EXPECT_EQ(counters.primary, states.size() - expected_fallback);
+    EXPECT_GE(counters.batches, 1u);
+    EXPECT_LE(counters.max_batch_rows, sweep.max_batch);
+  }
+}
+
+TEST(ControllerServer, DrainAnswersEverythingSubmitted) {
+  serve::ServeConfig config;
+  config.max_batch = 8;
+  config.max_wait = std::chrono::microseconds(100);
+  serve::ControllerServer server(config);
+  const auto student = make_student();
+  server.register_controller("vdp", student,
+                             std::make_shared<MarkerController>(2, 1),
+                             serve::SafetyMonitor::trust_all());
+  std::vector<std::future<Vec>> futures;
+  for (int k = 0; k < 40; ++k)
+    futures.push_back(server.submit("vdp", {0.01 * k, -0.01 * k}));
+  server.drain();
+  for (auto& future : futures)
+    EXPECT_EQ(future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+  EXPECT_EQ(server.counters("vdp").primary, 40u);
+}
+
+TEST(ControllerServer, StopDrainsPendingAndRejectsNewWork) {
+  serve::ControllerServer server;  // async defaults.
+  server.register_controller("vdp", make_student(),
+                             std::make_shared<MarkerController>(2, 1),
+                             serve::SafetyMonitor::trust_all());
+  auto pending = server.submit("vdp", {0.1, 0.2});
+  server.stop();
+  EXPECT_EQ(pending.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_THROW((void)server.submit("vdp", {0.1, 0.2}), std::runtime_error);
+  server.stop();  // idempotent.
+}
+
+TEST(ControllerServer, SynchronousSubmitAlsoThrowsAfterStop) {
+  serve::ControllerServer server(sync_config());
+  server.register_controller("vdp", make_student(),
+                             std::make_shared<MarkerController>(2, 1),
+                             serve::SafetyMonitor::trust_all());
+  server.stop();
+  EXPECT_THROW((void)server.submit("vdp", {0.1, 0.2}), std::runtime_error);
+}
+
+TEST(ControllerServer, ServesMultipleControllersFromOneQueue) {
+  serve::ServeConfig config;
+  config.max_batch = 64;
+  config.max_wait = std::chrono::microseconds(200);
+  serve::ControllerServer server(config);
+  const auto a = make_student(1);
+  const auto b = make_student(2);
+  server.register_controller("a", a, std::make_shared<MarkerController>(2, 1),
+                             serve::SafetyMonitor::trust_all());
+  server.register_controller("b", b, std::make_shared<MarkerController>(2, 1),
+                             serve::SafetyMonitor::trust_all());
+  const Vec s = {0.2, -0.3};
+  auto fa = server.submit("a", s);
+  auto fb = server.submit("b", s);
+  EXPECT_EQ(fa.get(), a->act(s));
+  EXPECT_EQ(fb.get(), b->act(s));
+  EXPECT_EQ(server.counters("a").primary, 1u);
+  EXPECT_EQ(server.counters("b").primary, 1u);
+}
+
+// --- registry: cached-artifact loading -------------------------------------
+
+TEST(ServeRegistry, LoadsTheCachedStudentBySystemKindSeed) {
+  const auto student = make_student();
+  ASSERT_FALSE(serve::cached_controller_exists("vanderpol", "studentR", 7));
+  EXPECT_THROW(
+      (void)serve::load_cached_controller("vanderpol", "studentR", 7, "k*"),
+      std::runtime_error);
+
+  const std::string path =
+      util::model_cache_path("vanderpol", "studentR", 7, "nnctl");
+  student->save_file(path);
+  ASSERT_TRUE(serve::cached_controller_exists("vanderpol", "studentR", 7));
+  const auto loaded =
+      serve::load_cached_controller("vanderpol", "studentR", 7, "k*-served");
+  EXPECT_EQ(loaded->describe(), "k*-served");
+  util::Rng rng(3);
+  for (int k = 0; k < 10; ++k) {
+    const Vec s = rng.normal_vec(2);
+    EXPECT_EQ(loaded->act(s), student->act(s));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ServeRegistry, CachePathsCarryTheFormatVersion) {
+  const std::string path = util::model_cache_path("sys", "kind", 5, "nnctl");
+  EXPECT_NE(path.find("_v" + std::to_string(util::kModelCacheVersion) +
+                      "_seed5"),
+            std::string::npos);
+}
+
+TEST(ServeRegistry, RegistersThePipelineStudentWithExpertFallback) {
+  core::PipelineArtifacts artifacts;
+  artifacts.system = sys::make_system("vanderpol");
+  const auto student = make_student();
+  artifacts.robust_student = student;
+  artifacts.experts = {std::make_shared<MarkerController>(2, 1)};
+
+  serve::ControllerServer server(sync_config());
+  serve::register_pipeline_student(server, "vdp", artifacts,
+                                   serve::SafetyMonitor::inside_box(unit_box()));
+  EXPECT_EQ(server.submit("vdp", {0.1, 0.1}).get(), student->act({0.1, 0.1}));
+  EXPECT_EQ(server.submit("vdp", {5.0, 5.0}).get(),
+            Vec{MarkerController::kMark});
+
+  core::PipelineArtifacts empty;
+  EXPECT_THROW(serve::register_pipeline_student(server, "x", empty,
+                                                serve::SafetyMonitor()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cocktail

@@ -159,6 +159,48 @@ TEST(WorkerScope, ResolvesTheSharedConvention) {
   EXPECT_EQ(dedicated.pool()->size(), 3u);
 }
 
+TEST(ThreadPool, SubmitFromOwnWorkerIsRejected) {
+  // A worker enqueueing into its own pool and blocking on the result is the
+  // nested-submission deadlock ROADMAP flags; the pool must refuse at the
+  // source instead of hanging.
+  util::ThreadPool pool(2);
+  auto outer = pool.submit([&pool]() -> bool {
+    EXPECT_TRUE(pool.inside_worker());
+    try {
+      (void)pool.submit([] { return 1; });
+    } catch (const std::logic_error&) {
+      return true;  // rejected, as required.
+    }
+    return false;
+  });
+  EXPECT_TRUE(outer.get());
+  EXPECT_FALSE(pool.inside_worker());  // the test thread is not a worker.
+}
+
+TEST(ThreadPool, SubmitToADifferentPoolFromAWorkerIsAllowed) {
+  util::ThreadPool pool(1);
+  util::ThreadPool other(1);
+  auto outer = pool.submit(
+      [&other] { return other.submit([] { return 7; }).get(); });
+  EXPECT_EQ(outer.get(), 7);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithFullCoverage) {
+  // parallel_for from inside a worker degrades to an inline loop: same
+  // coverage, no queue interaction, no deadlock.
+  util::ThreadPool pool(2);
+  constexpr std::size_t kOuter = 8;
+  constexpr std::size_t kInner = 50;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.parallel_for(kOuter, [&](std::size_t i) {
+    pool.parallel_for(kInner, [&](std::size_t j) {
+      hits[i * kInner + j].fetch_add(1);
+    });
+  });
+  for (std::size_t k = 0; k < hits.size(); ++k)
+    ASSERT_EQ(hits[k].load(), 1) << "slot " << k;
+}
+
 TEST(ThreadPool, SharedPoolIsASingleton) {
   util::ThreadPool& a = util::ThreadPool::shared();
   util::ThreadPool& b = util::ThreadPool::shared();
