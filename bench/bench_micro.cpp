@@ -1,10 +1,28 @@
-// Micro-benchmarks of the substrate kernels (google-benchmark): NN
-// inference/backprop, interval dynamics, Bernstein abstraction, FGSM, and
-// a full closed-loop rollout step.  These bound the cost models behind the
-// training/verification budgets quoted in DESIGN.md.
+// Micro-benchmarks of the substrate kernels (google-benchmark): the
+// blocked LA backend, NN inference/backprop, interval dynamics, Bernstein
+// abstraction, FGSM, and a full closed-loop rollout step.  These bound the
+// cost models behind the training/verification budgets quoted in DESIGN.md.
+//
+// bench_micro is also the repo's TRACKED PERF TIER: it provides its own
+// main(), understands
+//   --smoke       tiny measurement times + only the tracked benchmarks
+//                 (GEMM / forward_batch / distill / PPO update) — the mode
+//                 Release CI runs every PR;
+//   --out=<path>  where to write the JSON trajectory point
+//                 (default BENCH_micro.json in the working directory);
+// and emits one BENCH_micro.json per run: every benchmark's per-iteration
+// time plus GFLOP/s where a flop count is defined, and the headline
+// GEMM-vs-naive speedups.  Each PR's JSON is a point on the perf
+// trajectory; a shrinking speedup is a regression with a number attached.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <fstream>
+#include <iostream>
 #include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "attack/fgsm.h"
 #include "control/lqr_controller.h"
@@ -12,6 +30,7 @@
 #include "control/polynomial_controller.h"
 #include "core/distiller.h"
 #include "core/rollout.h"
+#include "la/matrix.h"
 #include "nn/loss.h"
 #include "nn/mlp.h"
 #include "point_mass_envs.h"
@@ -30,6 +49,72 @@
 namespace {
 
 using namespace cocktail;
+
+/// The pre-PR-6 `Matrix::matmul` triple loop, kept verbatim as the perf
+/// baseline the blocked backend is measured against (including its
+/// NaN-dropping `aik == 0.0` skip — never taken on the random operands
+/// below, but part of the loop being replaced).
+la::Matrix naive_matmul_baseline(const la::Matrix& a, const la::Matrix& b) {
+  la::Matrix out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = &b.data()[k * b.cols()];
+      double* orow = &out.data()[i * b.cols()];
+      for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+la::Matrix random_matrix(std::size_t rows, std::size_t cols,
+                         std::uint64_t seed) {
+  la::Matrix m(rows, cols);
+  util::Rng rng(seed);
+  for (auto& v : m.data()) v = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+void set_gemm_flops(benchmark::State& state, std::size_t n) {
+  state.counters["FLOPS"] =
+      benchmark::Counter(2.0 * static_cast<double>(n) * static_cast<double>(n) *
+                             static_cast<double>(n),
+                         benchmark::Counter::kIsIterationInvariantRate);
+}
+
+// Square n x n x n GEMM on the pre-PR naive loop (Arg = n).  The
+// denominator of the tracked gemm_speedup_* trajectory numbers.
+void BM_GemmNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const la::Matrix a = random_matrix(n, n, 101);
+  const la::Matrix b = random_matrix(n, n, 102);
+  for (auto _ : state) benchmark::DoNotOptimize(naive_matmul_baseline(a, b));
+  set_gemm_flops(state, n);
+}
+BENCHMARK(BM_GemmNaive)->Arg(64)->Arg(128)->Arg(256);
+
+// Square n x n x n GEMM on the deterministic blocked/SIMD backend
+// (Matrix::matmul -> la::kernels::gemm_nn, includes the B^T pack).
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const la::Matrix a = random_matrix(n, n, 101);
+  const la::Matrix b = random_matrix(n, n, 102);
+  for (auto _ : state) benchmark::DoNotOptimize(a.matmul(b));
+  set_gemm_flops(state, n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+// Square n x n x n NT GEMM (Matrix::matmul_nt -> la::kernels::gemm_nt) —
+// the exact kernel under Mlp::forward_batch, no pack.
+void BM_GemmNt(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const la::Matrix a = random_matrix(n, n, 101);
+  const la::Matrix b = random_matrix(n, n, 102);
+  for (auto _ : state) benchmark::DoNotOptimize(a.matmul_nt(b));
+  set_gemm_flops(state, n);
+}
+BENCHMARK(BM_GemmNt)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_MlpForward(benchmark::State& state) {
   const auto width = static_cast<std::size_t>(state.range(0));
@@ -54,6 +139,11 @@ void BM_MlpForwardBatch(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(net.forward_batch(x));
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(batch));
+  // GEMM flops only (2*K per MAC over the 4->64->64->1 layers); the bias/
+  // activation work is negligible at these widths.
+  state.counters["FLOPS"] = benchmark::Counter(
+      2.0 * static_cast<double>(batch) * (4.0 * 64 + 64.0 * 64 + 64.0 * 1),
+      benchmark::Counter::kIsIterationInvariantRate);
 }
 BENCHMARK(BM_MlpForwardBatch)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
 
@@ -334,4 +424,130 @@ void BM_DdpgCollect(benchmark::State& state) {
 BENCHMARK(BM_DdpgCollect)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
+// --- tracked perf tier: JSON trajectory output ----------------------------
+
+/// One emitted row of BENCH_micro.json.
+struct TrajectoryRow {
+  std::string name;
+  std::int64_t iterations = 0;
+  double real_time_per_iter_s = 0.0;
+  double cpu_time_per_iter_s = 0.0;
+  double flops_per_s = -1.0;           // -1: no flop model for this bench.
+  double items_per_second = -1.0;
+};
+
+/// ConsoleReporter that additionally captures every run for the JSON file.
+class TrajectoryReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      TrajectoryRow row;
+      row.name = run.benchmark_name();
+      row.iterations = static_cast<std::int64_t>(run.iterations);
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      row.real_time_per_iter_s = run.real_accumulated_time / iters;
+      row.cpu_time_per_iter_s = run.cpu_accumulated_time / iters;
+      const auto flops = run.counters.find("FLOPS");
+      if (flops != run.counters.end()) row.flops_per_s = flops->second;
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) row.items_per_second = items->second;
+      rows_.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  [[nodiscard]] const std::vector<TrajectoryRow>& rows() const {
+    return rows_;
+  }
+
+ private:
+  std::vector<TrajectoryRow> rows_;
+};
+
+double find_time(const std::vector<TrajectoryRow>& rows,
+                 const std::string& name) {
+  for (const auto& row : rows)
+    if (row.name == name) return row.real_time_per_iter_s;
+  return -1.0;
+}
+
+void write_json(const std::vector<TrajectoryRow>& rows, bool smoke,
+                const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bench_micro: cannot open " << path << " for writing\n";
+    return;
+  }
+  out.precision(12);
+  out << "{\n  \"bench\": \"bench_micro\",\n  \"schema_version\": 1,\n"
+      << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+      << "  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const TrajectoryRow& row = rows[i];
+    out << "    {\"name\": \"" << row.name << "\", \"iterations\": "
+        << row.iterations << ", \"real_time_per_iter_s\": "
+        << row.real_time_per_iter_s << ", \"cpu_time_per_iter_s\": "
+        << row.cpu_time_per_iter_s;
+    if (row.flops_per_s >= 0.0)
+      out << ", \"gflops\": " << row.flops_per_s * 1e-9;
+    if (row.items_per_second >= 0.0)
+      out << ", \"items_per_second\": " << row.items_per_second;
+    out << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"derived\": {";
+  // Headline trajectory numbers: blocked-backend speedup over the pre-PR
+  // naive loop, per square GEMM shape.
+  bool first = true;
+  for (const int n : {64, 128, 256}) {
+    const std::string arg = "/" + std::to_string(n);
+    const double naive = find_time(rows, "BM_GemmNaive" + arg);
+    const double blocked = find_time(rows, "BM_Gemm" + arg);
+    if (naive <= 0.0 || blocked <= 0.0) continue;
+    if (!first) out << ",";
+    first = false;
+    out << "\n    \"gemm_speedup_" << n << "\": " << naive / blocked;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+  std::cout << "bench_micro: wrote perf trajectory point to " << path << "\n";
+}
+
 }  // namespace
+
+// Custom main: strip the perf-tier flags, hand the rest to
+// google-benchmark, and always leave a BENCH_micro.json behind.
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_micro.json";
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = std::string(arg.substr(6));
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  // Smoke mode = the CI perf tier: only the tracked benchmarks, at a
+  // measurement time that keeps the whole tier in seconds.  The numbers are
+  // noisier than a full run but the same JSON shape lands in the artifact.
+  std::string min_time = "--benchmark_min_time=0.01";
+  std::string filter =
+      "--benchmark_filter=BM_Gemm|BM_MlpForwardBatch|BM_DistillSgd/1|"
+      "BM_PpoUpdate/1";
+  if (smoke) {
+    args.push_back(min_time.data());
+    args.push_back(filter.data());
+  }
+  int argc2 = static_cast<int>(args.size());
+  benchmark::Initialize(&argc2, args.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, args.data())) return 1;
+  TrajectoryReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  write_json(reporter.rows(), smoke, out_path);
+  benchmark::Shutdown();
+  return 0;
+}

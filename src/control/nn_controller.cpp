@@ -22,6 +22,9 @@ la::Vec NnController::act(const la::Vec& s) const {
 
 std::vector<la::Vec> NnController::act_batch(
     const std::vector<la::Vec>& states) const {
+  // The explicit empty-batch answer: no states, no actions.  This guard is
+  // load-bearing — la::Matrix::from_rows({}) throws rather than inventing
+  // a 0 x 0 shape.
   if (states.empty()) return {};
   la::Matrix y = net_.forward_batch(la::Matrix::from_rows(states));
   // scale_[c] * y(r, c): the same multiplication la::hadamard performs in

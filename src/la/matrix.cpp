@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "la/kernels.h"
+
 namespace cocktail::la {
 
 Matrix::Matrix(std::size_t rows, std::size_t cols)
@@ -25,7 +27,12 @@ Matrix Matrix::identity(std::size_t n) {
 }
 
 Matrix Matrix::from_rows(const std::vector<Vec>& rows) {
-  if (rows.empty()) return Matrix();
+  // An empty stack has no first row to take the column count from, so any
+  // shape we invented here would silently disagree with what the caller's
+  // consumers expect.  Batch assemblers must guard the empty case
+  // themselves (NnController::act_batch returns {} before ever calling us).
+  if (rows.empty())
+    throw std::invalid_argument("Matrix::from_rows: empty row list");
   Matrix m(rows.size(), rows.front().size());
   for (std::size_t r = 0; r < rows.size(); ++r) {
     if (rows[r].size() != m.cols_)
@@ -57,12 +64,7 @@ Vec Matrix::matvec(const Vec& x) const {
   if (x.size() != cols_)
     throw std::invalid_argument("Matrix::matvec: dimension mismatch");
   Vec y(rows_, 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const double* row = &data_[r * cols_];
-    double acc = 0.0;
-    for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
-    y[r] = acc;
-  }
+  kernels::matvec(rows_, cols_, data_.data(), cols_, x.data(), y.data());
   return y;
 }
 
@@ -70,11 +72,7 @@ Vec Matrix::matvec_transpose(const Vec& x) const {
   if (x.size() != rows_)
     throw std::invalid_argument("Matrix::matvec_transpose: dimension mismatch");
   Vec y(cols_, 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const double* row = &data_[r * cols_];
-    const double xr = x[r];
-    for (std::size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
-  }
+  kernels::matvec_t(rows_, cols_, data_.data(), cols_, x.data(), y.data());
   return y;
 }
 
@@ -82,15 +80,13 @@ Matrix Matrix::matmul(const Matrix& other) const {
   if (cols_ != other.rows_)
     throw std::invalid_argument("Matrix::matmul: dimension mismatch");
   Matrix out(rows_, other.cols_);
-  for (std::size_t i = 0; i < rows_; ++i) {
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const double aik = (*this)(i, k);
-      if (aik == 0.0) continue;
-      const double* brow = &other.data_[k * other.cols_];
-      double* orow = &out.data_[i * other.cols_];
-      for (std::size_t j = 0; j < other.cols_; ++j) orow[j] += aik * brow[j];
-    }
-  }
+  // No sparsity short-cuts here: the old `if (a_ik == 0.0) continue;` skip
+  // silently dropped NaN/Inf from the other operand (IEEE: 0 * NaN = NaN),
+  // letting non-finite values pass through products undetected.  The
+  // blocked kernel touches every product.
+  kernels::gemm_nn(rows_, other.cols_, cols_, data_.data(), cols_,
+                   other.data_.data(), other.cols_, out.data_.data(),
+                   other.cols_);
   return out;
 }
 
@@ -98,18 +94,12 @@ Matrix Matrix::matmul_nt(const Matrix& other) const {
   if (cols_ != other.cols_)
     throw std::invalid_argument("Matrix::matmul_nt: dimension mismatch");
   Matrix out(rows_, other.rows_);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const double* arow = &data_[r * cols_];
-    double* orow = &out.data_[r * other.rows_];
-    for (std::size_t i = 0; i < other.rows_; ++i) {
-      // Same scalar accumulator over increasing k as Matrix::matvec — the
-      // bitwise-identity contract batched inference relies on.
-      const double* brow = &other.data_[i * other.cols_];
-      double acc = 0.0;
-      for (std::size_t k = 0; k < cols_; ++k) acc += brow[k] * arow[k];
-      orow[i] = acc;
-    }
-  }
+  // Row r accumulates under the same fixed schedule as Matrix::matvec — the
+  // bitwise-identity contract batched inference relies on (kernels::gemm_nt
+  // computes each entry exactly like kernels::matvec does).
+  kernels::gemm_nt(rows_, other.rows_, cols_, data_.data(), cols_,
+                   other.data_.data(), other.cols_, out.data_.data(),
+                   other.rows_);
   return out;
 }
 
@@ -161,8 +151,10 @@ void Matrix::add_outer(double k, const Vec& col, const Vec& row) {
   if (col.size() != rows_ || row.size() != cols_)
     throw std::invalid_argument("Matrix::add_outer: shape mismatch");
   for (std::size_t r = 0; r < rows_; ++r) {
+    // No `kc == 0.0` skip: 0 * NaN = NaN must reach the accumulator, or
+    // non-finite gradients/activations pass through rank-1 updates
+    // undetected.
     const double kc = k * col[r];
-    if (kc == 0.0) continue;
     double* out = &data_[r * cols_];
     for (std::size_t c = 0; c < cols_; ++c) out[c] += kc * row[c];
   }
@@ -211,6 +203,11 @@ double Matrix::inf_norm() const {
 }
 
 double Matrix::spectral_norm(int iters) const {
+  // iters <= 0 used to skip the loop and "converge" to sigma = 0.0 — an
+  // unsound certified bound once it flowed into lipschitz_upper_bound and
+  // SafetyMonitor::action_deviation_bound.  Reject it loudly instead.
+  if (iters < 1)
+    throw std::invalid_argument("Matrix::spectral_norm: iters must be >= 1");
   if (empty()) return 0.0;
   // Power iteration on M^T M from a deterministic, strictly positive start
   // vector; that start has a nonzero component along the top singular

@@ -1,8 +1,13 @@
 // Dense row-major matrix.
 //
-// Sized for the library's workloads: NN layers up to ~128x128 and the tiny
-// Riccati recursions behind the LQR expert.  Operations are straightforward
-// loops; no BLAS dependency.
+// Sized for the library's workloads: NN layers up to ~128x128, serving
+// GEMM batches, and the tiny Riccati recursions behind the LQR expert.
+// matvec/matvec_transpose/matmul/matmul_nt run on the deterministic
+// blocked/SIMD kernels of la/kernels.h: every reduction follows the single
+// fixed accumulation schedule of la/kernel_config.h, so results are
+// bitwise identical across the scalar and batched paths, worker counts,
+// vector ISAs, and optimization levels.  No BLAS dependency by default;
+// -DCOCKTAIL_BLAS=ON trades the GEMM determinism contract for peak FLOPS.
 #pragma once
 
 #include <cstddef>
@@ -25,6 +30,9 @@ class Matrix {
   [[nodiscard]] static Matrix identity(std::size_t n);
   /// Stacks `rows` (all the same length) into a rows.size() x rows[0].size()
   /// matrix — the batch-assembly entry point of the serving runtime.
+  /// Throws std::invalid_argument on an empty list (there is no first row
+  /// to take the column count from) and on ragged rows; batch assemblers
+  /// must handle the empty case explicitly before calling.
   [[nodiscard]] static Matrix from_rows(const std::vector<Vec>& rows);
   /// Matrix whose single row is `v`.
   [[nodiscard]] static Matrix row_vector(const Vec& v);
@@ -44,15 +52,18 @@ class Matrix {
   [[nodiscard]] const Vec& data() const noexcept { return data_; }
   [[nodiscard]] Vec& data() noexcept { return data_; }
 
-  /// y = M x.
+  /// y = M x, under the fixed dot schedule (la/kernel_config.h).
   [[nodiscard]] Vec matvec(const Vec& x) const;
-  /// y = M^T x  (used heavily by backprop).
+  /// y = M^T x  (used heavily by backprop), under the fixed transpose
+  /// schedule.
   [[nodiscard]] Vec matvec_transpose(const Vec& x) const;
+  /// C = this * other, on the blocked GEMM kernel (same dot schedule).
   [[nodiscard]] Matrix matmul(const Matrix& other) const;
   /// C = this * other^T without materializing the transpose.  Row r of the
-  /// result accumulates exactly like `other.matvec(row r of this)` — a
-  /// scalar accumulator over increasing k — so batched NN layers built on
-  /// this GEMM are bitwise identical per row to the per-sample matvec path.
+  /// result accumulates exactly like `other.matvec(row r of this)` — the
+  /// same fixed dot schedule — so batched NN layers built on this GEMM are
+  /// bitwise identical per row to the per-sample matvec path (not under
+  /// -DCOCKTAIL_BLAS=ON, which opts out of the contract).
   [[nodiscard]] Matrix matmul_nt(const Matrix& other) const;
   [[nodiscard]] Matrix transpose() const;
   [[nodiscard]] Matrix operator+(const Matrix& other) const;
@@ -81,7 +92,11 @@ class Matrix {
   [[nodiscard]] double inf_norm() const;
   /// Largest singular value via power iteration on M^T M.  `iters`
   /// iterations from a deterministic start; accurate to ~1e-9 for the
-  /// well-separated spectra NN layers have in practice.
+  /// well-separated spectra NN layers have in practice.  Throws
+  /// std::invalid_argument when iters < 1: a zero-iteration "estimate"
+  /// would return 0.0, which downstream certified Lipschitz bounds
+  /// (Mlp::lipschitz_upper_bound -> SafetyMonitor::action_deviation_bound)
+  /// would treat as a sound bound of zero.
   [[nodiscard]] double spectral_norm(int iters = 100) const;
 
   [[nodiscard]] bool all_finite() const;

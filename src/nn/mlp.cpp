@@ -116,8 +116,10 @@ la::Matrix Mlp::forward_batch(const la::Matrix& x) const {
     throw std::invalid_argument("Mlp::forward_batch: input dimension mismatch");
   la::Matrix a = x;
   for (const auto& layer : layers_) {
-    // z(r, i) = sum_c a(r, c) * w(i, c) + b[i], accumulated exactly like the
-    // scalar path's matvec + axpy, then the same element-wise activation.
+    // z(r, i) = sum_c a(r, c) * w(i, c) + b[i]: the GEMM runs the same
+    // fixed accumulation schedule as the scalar path's matvec (IEEE
+    // multiplication commutes bitwise, so the operand order per product is
+    // immaterial), then the same bias add and element-wise activation.
     la::Matrix z = a.matmul_nt(layer.w);
     z.add_row_broadcast(layer.b);
     for (auto& v : z.data()) v = activate(layer.act, v);

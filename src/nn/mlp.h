@@ -78,11 +78,12 @@ class Mlp {
   [[nodiscard]] la::Vec forward(const la::Vec& x) const;
 
   /// Batched inference: `x` is N x input_dim (one sample per row); returns
-  /// N x output_dim.  Each layer is one GEMM (la::Matrix::matmul_nt) plus a
-  /// bias broadcast, with the same per-element accumulation order as the
-  /// scalar path, so row r is **bitwise identical** to forward(x.row(r)) —
-  /// the contract the serving runtime's micro-batching rests on (pinned by
-  /// test_nn's ForwardBatch suite).
+  /// N x output_dim.  Each layer is one blocked GEMM (la::Matrix::matmul_nt)
+  /// plus a bias broadcast; the GEMM and the scalar path's matvec follow
+  /// the same fixed accumulation schedule (la/kernel_config.h), so row r is
+  /// **bitwise identical** to forward(x.row(r)) — the contract the serving
+  /// runtime's micro-batching rests on (pinned by test_nn's ForwardBatch
+  /// suites; waived only by the -DCOCKTAIL_BLAS=ON opt-in).
   [[nodiscard]] la::Matrix forward_batch(const la::Matrix& x) const;
 
   /// Per-sample forward pass cache for backpropagation.

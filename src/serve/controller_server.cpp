@@ -165,6 +165,10 @@ void ControllerServer::execute_slice(std::vector<Request>& slice) {
   });
 
   for (auto& [entry, requests] : groups) {
+    // A group exists only because at least one request was appended to it,
+    // and every chunk below covers a non-empty [lo, hi) — act_batch (and
+    // through it Matrix::from_rows, which rejects empty input) is never
+    // handed an empty slice.
     entry->primary_count.fetch_add(requests.size(),
                                    std::memory_order_relaxed);
     entry->batch_count.fetch_add(1, std::memory_order_relaxed);

@@ -19,8 +19,12 @@ namespace cocktail::util {
 /// a serialization format change, or a change to any RNG stream that feeds
 /// training (the stale-cache breaks PRs 2-4 disclosed) — so old files are
 /// simply never matched again instead of requiring a manual `rm`.  The
-/// current value corresponds to the PR 4 collection RNG streams.
-inline constexpr int kModelCacheVersion = 4;
+/// current value corresponds to the PR 6 fixed accumulation schedule of
+/// the blocked LA backend (la/kernel_config.h): every matvec/GEMM
+/// reduction reorders its FP sums vs the v4 flat loops, so all trained
+/// nets shift in the low-order bits.  Changing any schedule constant
+/// requires another bump.
+inline constexpr int kModelCacheVersion = 5;
 
 /// Canonical cache filename for a trained artifact:
 ///   <model_dir()>/<system>_<kind>_v<kModelCacheVersion>_seed<seed>.<ext>

@@ -1,9 +1,15 @@
-// Unit + property tests for src/la: vector ops, Matrix, solvers, DARE.
+// Unit + property tests for src/la: vector ops, Matrix, the deterministic
+// blocked/SIMD kernel schedule, solvers, DARE.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
+#include <tuple>
+#include <vector>
 
+#include "la/kernel_config.h"
+#include "la/kernels.h"
 #include "la/matrix.h"
 #include "la/solve.h"
 #include "la/vec.h"
@@ -148,10 +154,17 @@ TEST(MatrixTest, FromRowsStacksAndRejectsRagged) {
   ASSERT_EQ(m.cols(), 2u);
   EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
   EXPECT_EQ(m.row(1), (Vec{3.0, 4.0}));
-  EXPECT_TRUE(Matrix::from_rows({}).empty());
   EXPECT_THROW((void)Matrix::from_rows({{1.0, 2.0}, {3.0}}),
                std::invalid_argument);
   EXPECT_THROW((void)m.row(3), std::out_of_range);
+}
+
+TEST(MatrixTest, FromRowsEmptyListThrows) {
+  // An empty stack has no first row to take the column count from; a silent
+  // 0 x 0 answer would disagree with whatever shape the caller expected.
+  // Batch assemblers guard the empty case themselves (NnController::
+  // act_batch returns {} before calling from_rows).
+  EXPECT_THROW((void)Matrix::from_rows({}), std::invalid_argument);
 }
 
 TEST(MatrixTest, MatmulNtRowsAreBitwiseMatvecs) {
@@ -171,6 +184,178 @@ TEST(MatrixTest, MatmulNtRowsAreBitwiseMatvecs) {
       ASSERT_EQ(c(r, j), expected[j]) << "row " << r << " col " << j;
   }
   EXPECT_THROW((void)a.matmul_nt(Matrix(4, 6)), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-accumulation-schedule kernels (la/kernels.h).
+//
+// The vectorized kernels and the plain-loop references implement the SAME
+// schedule (la/kernel_config.h), so their results must agree bit for bit —
+// on every shape, including ones that are not multiples of any panel size.
+// ---------------------------------------------------------------------------
+
+/// Shapes deliberately chosen to miss every panel boundary: 1x1, primes,
+/// tall/skinny, and inner dims straddling kDotBlockK.
+std::vector<std::tuple<std::size_t, std::size_t, std::size_t>>
+kernel_test_shapes() {
+  const std::size_t bk = la::kernels::kDotBlockK;
+  return {
+      {1, 1, 1},        {2, 3, 5},         {7, 7, 7},
+      {13, 17, 19},     {5, 4, 31},        {1, 3, bk + 1},
+      {3, 1, bk - 1},   {2, 2, 2 * bk + 3}, {64, 64, 64},
+      {33, 65, 127},
+  };
+}
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Matrix m(rows, cols);
+  for (auto& v : m.data()) v = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+void expect_bitwise_rows(const Matrix& got, const Matrix& want) {
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  for (std::size_t r = 0; r < got.rows(); ++r)
+    for (std::size_t c = 0; c < got.cols(); ++c)
+      ASSERT_EQ(got(r, c), want(r, c)) << "(" << r << ", " << c << ")";
+}
+
+TEST(KernelSchedule, DotMatchesReferenceAcrossLengths) {
+  const std::size_t bk = la::kernels::kDotBlockK;
+  for (std::size_t k : {std::size_t{1}, std::size_t{2}, std::size_t{7},
+                        std::size_t{13}, std::size_t{31}, bk - 1, bk, bk + 1,
+                        2 * bk + 3}) {
+    const Matrix a = random_matrix(1, k, 100 + k);
+    const Matrix b = random_matrix(1, k, 200 + k);
+    const double fast = la::kernels::dot(a.data().data(), b.data().data(), k);
+    const double ref =
+        la::kernels::dot_ref(a.data().data(), b.data().data(), k);
+    ASSERT_EQ(fast, ref) << "k = " << k;
+  }
+}
+
+TEST(KernelSchedule, GemmNtBitwiseMatchesReference) {
+  if (la::kernels::blas_enabled())
+    GTEST_SKIP() << "COCKTAIL_BLAS waives the bitwise GEMM contract";
+  for (const auto& [m, n, k] : kernel_test_shapes()) {
+    const Matrix a = random_matrix(m, k, 31 * m + n);
+    const Matrix b = random_matrix(n, k, 57 * n + k);
+    const Matrix fast = a.matmul_nt(b);
+    Matrix ref(m, n);
+    la::kernels::gemm_nt_ref(m, n, k, a.data().data(), k, b.data().data(), k,
+                             ref.data().data(), n);
+    SCOPED_TRACE(::testing::Message()
+                 << "shape " << m << " x " << n << " x " << k);
+    expect_bitwise_rows(fast, ref);
+  }
+}
+
+TEST(KernelSchedule, GemmNnBitwiseMatchesReference) {
+  if (la::kernels::blas_enabled())
+    GTEST_SKIP() << "COCKTAIL_BLAS waives the bitwise GEMM contract";
+  for (const auto& [m, n, k] : kernel_test_shapes()) {
+    const Matrix a = random_matrix(m, k, 71 * m + k);
+    const Matrix b = random_matrix(k, n, 93 * n + m);
+    const Matrix fast = a.matmul(b);
+    Matrix ref(m, n);
+    la::kernels::gemm_nn_ref(m, n, k, a.data().data(), k, b.data().data(), n,
+                             ref.data().data(), n);
+    SCOPED_TRACE(::testing::Message()
+                 << "shape " << m << " x " << n << " x " << k);
+    expect_bitwise_rows(fast, ref);
+  }
+}
+
+TEST(KernelSchedule, MatvecBitwiseMatchesDotReference) {
+  // matvec never routes to BLAS (it stays deterministic even under
+  // COCKTAIL_BLAS), so this pin holds in every build configuration.
+  for (const auto& [m, n, k] : kernel_test_shapes()) {
+    (void)n;
+    const Matrix a = random_matrix(m, k, 11 * m + k);
+    const Matrix x = random_matrix(1, k, 13 * k + m);
+    Vec xv(x.data().begin(), x.data().end());
+    const Vec y = a.matvec(xv);
+    ASSERT_EQ(y.size(), m);
+    for (std::size_t r = 0; r < m; ++r) {
+      const double ref = la::kernels::dot_ref(a.data().data() + r * k,
+                                              x.data().data(), k);
+      ASSERT_EQ(y[r], ref) << "row " << r << ", shape " << m << " x " << k;
+    }
+  }
+}
+
+TEST(KernelSchedule, MatvecTransposeBitwiseMatchesReference) {
+  for (const auto& [m, n, k] : kernel_test_shapes()) {
+    (void)n;
+    const Matrix a = random_matrix(m, k, 17 * m + k);
+    const Matrix x = random_matrix(1, m, 23 * m + k);
+    Vec xv(x.data().begin(), x.data().end());
+    const Vec y = a.matvec_transpose(xv);
+    Vec ref(k, 0.0);
+    la::kernels::matvec_t_ref(m, k, a.data().data(), k, xv.data(),
+                              ref.data());
+    ASSERT_EQ(y.size(), k);
+    for (std::size_t c = 0; c < k; ++c)
+      ASSERT_EQ(y[c], ref[c]) << "col " << c << ", shape " << m << " x " << k;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// NaN/Inf propagation: the old kernels skipped zero operands as a fast path,
+// which silently swallowed 0 * NaN and 0 * Inf (both NaN under IEEE 754).
+// ---------------------------------------------------------------------------
+
+TEST(MatrixTest, MatmulPropagatesNanThroughZeroRows) {
+  // A is all zeros; the old `if (aik == 0.0) continue;` skip never touched
+  // B, so a NaN in B vanished.  0 * NaN = NaN must reach the output.
+  Matrix a(1, 2);  // zero-initialised
+  Matrix b(2, 1);
+  b(0, 0) = std::nan("");
+  b(1, 0) = 1.0;
+  EXPECT_TRUE(std::isnan(a.matmul(b)(0, 0)));
+}
+
+TEST(MatrixTest, MatmulPropagatesNanThroughZeroOperand) {
+  // Mirror image: the NaN sits in A, the zero in B.
+  Matrix a(1, 2);
+  a(0, 0) = std::nan("");
+  a(0, 1) = 1.0;
+  Matrix b(2, 1);  // zero-initialised
+  EXPECT_TRUE(std::isnan(a.matmul(b)(0, 0)));
+  EXPECT_TRUE(std::isnan(a.matmul_nt(Matrix(1, 2))(0, 0)));
+  EXPECT_TRUE(std::isnan(a.matvec(Vec{0.0, 0.0})[0]));
+}
+
+TEST(MatrixTest, MatmulPropagatesInfTimesZeroAsNan) {
+  Matrix a(1, 1);  // zero
+  Matrix b(1, 1);
+  b(0, 0) = INFINITY;
+  EXPECT_TRUE(std::isnan(a.matmul(b)(0, 0)));
+}
+
+TEST(MatrixTest, AddOuterPropagatesNan) {
+  // The old kernel skipped columns where k * col[r] == 0.0, so a NaN (or
+  // Inf) in `row` never contaminated those entries.
+  Matrix m(1, 1);
+  m.add_outer(1.0, Vec{0.0}, Vec{std::nan("")});
+  EXPECT_TRUE(std::isnan(m(0, 0)));
+  Matrix m2(1, 1);
+  m2.add_outer(0.0, Vec{1.0}, Vec{INFINITY});
+  EXPECT_TRUE(std::isnan(m2(0, 0)));
+}
+
+TEST(MatrixTest, SpectralNormRejectsNonPositiveIters) {
+  // iters <= 0 used to fall through to `return 0.0` — an unsound Lipschitz
+  // "bound" that flowed into SafetyMonitor::action_deviation_bound and
+  // certified everything.
+  const Matrix m = Matrix::diagonal({2.0, 5.0});
+  EXPECT_THROW((void)m.spectral_norm(0), std::invalid_argument);
+  EXPECT_THROW((void)m.spectral_norm(-3), std::invalid_argument);
+  // The validation precedes the empty-matrix early-out.
+  EXPECT_THROW((void)Matrix().spectral_norm(0), std::invalid_argument);
+  EXPECT_NEAR(m.spectral_norm(50), 5.0, 1e-9);
 }
 
 TEST(MatrixTest, RowBroadcastOps) {

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "la/kernels.h"
 #include "nn/activation.h"
 #include "nn/loss.h"
 #include "nn/mlp.h"
@@ -273,6 +274,8 @@ TEST(MlpTest, ForwardBatchIsBitwiseIdenticalToScalarForward) {
     Activation hidden_act;
     Activation out_act;
   };
+  if (la::kernels::blas_enabled())
+    GTEST_SKIP() << "COCKTAIL_BLAS waives the bitwise batching contract";
   const std::vector<Case> cases = {
       {{16}, Activation::kTanh, Activation::kIdentity},
       {{24, 24}, Activation::kRelu, Activation::kTanh},
@@ -294,6 +297,44 @@ TEST(MlpTest, ForwardBatchIsBitwiseIdenticalToScalarForward) {
       }
     }
   }
+}
+
+TEST(MlpTest, ForwardBatchBitwiseOnPrimeWidthsAndBatches) {
+  // Widths and batch sizes that are multiples of nothing: the blocked GEMM's
+  // panel tails and the scalar matvec must still land on identical bits.
+  if (la::kernels::blas_enabled())
+    GTEST_SKIP() << "COCKTAIL_BLAS waives the bitwise batching contract";
+  const Mlp net = Mlp::make(5, {31, 17}, 3, Activation::kTanh,
+                            Activation::kIdentity, 123);
+  util::Rng rng(41);
+  for (const std::size_t batch :
+       {std::size_t{1}, std::size_t{2}, std::size_t{7}, std::size_t{33}}) {
+    la::Matrix x(batch, 5);
+    for (auto& v : x.data()) v = rng.uniform(-2.0, 2.0);
+    const la::Matrix y = net.forward_batch(x);
+    ASSERT_EQ(y.rows(), batch);
+    ASSERT_EQ(y.cols(), 3u);
+    for (std::size_t r = 0; r < batch; ++r) {
+      const Vec row = net.forward(x.row(r));
+      for (std::size_t i = 0; i < row.size(); ++i)
+        ASSERT_EQ(y(r, i), row[i]) << "batch " << batch << " row " << r
+                                   << " out " << i;
+    }
+  }
+}
+
+TEST(MlpTest, BackwardPropagatesNanIntoWeightGradients) {
+  // Regression for the add_outer zero-skip: with dLoss/dy = 0 the weight
+  // gradient is 0 * input.  If the input activation is NaN that product is
+  // NaN, and the old `kc == 0.0` skip silently dropped it.
+  Mlp net = Mlp::make(1, {}, 1, Activation::kIdentity,
+                      Activation::kIdentity, 1);
+  Mlp::Workspace ws;
+  const Vec y = net.forward({std::nan("")}, ws);
+  ASSERT_TRUE(std::isnan(y[0]));
+  nn::Gradients grads = net.zero_gradients();
+  net.backward(ws, {0.0}, grads);
+  EXPECT_TRUE(std::isnan(grads.w[0](0, 0)));
 }
 
 TEST(MlpTest, ForwardBatchRejectsWrongInputWidth) {

@@ -15,6 +15,7 @@
 
 #include "control/controller.h"
 #include "control/nn_controller.h"
+#include "la/kernels.h"
 #include "nn/mlp.h"
 #include "serve/controller_server.h"
 #include "serve/registry.h"
@@ -271,6 +272,8 @@ TEST(ControllerServer, ControllerExceptionsTravelThroughTheFuture) {
 /// path produces, and out-of-invariant states are verifiably answered by
 /// the fallback.
 TEST(ControllerServer, AsyncMatchesSynchronousForAnyConfiguration) {
+  if (la::kernels::blas_enabled())
+    GTEST_SKIP() << "COCKTAIL_BLAS waives the bitwise batching contract";
   // Reference answers from a synchronous server.
   serve::ControllerServer reference(sync_config());
   const auto student = make_student();
@@ -360,6 +363,39 @@ TEST(ControllerServer, DrainAnswersEverythingSubmitted) {
     EXPECT_EQ(future.wait_for(std::chrono::seconds(0)),
               std::future_status::ready);
   EXPECT_EQ(server.counters("vdp").primary, 40u);
+}
+
+TEST(ControllerServer, DrainWithNoTrafficReturnsImmediately) {
+  serve::ControllerServer server;  // async defaults.
+  server.register_controller("vdp", make_student(),
+                             std::make_shared<MarkerController>(2, 1),
+                             serve::SafetyMonitor::trust_all());
+  server.drain();  // nothing queued, nothing in flight: must not block.
+  EXPECT_EQ(server.counters("vdp").primary, 0u);
+  EXPECT_EQ(server.counters("vdp").batches, 0u);
+}
+
+TEST(ControllerServer, AllFallbackSliceNeverBuildsAnEmptyBatch) {
+  // Every request is uncertified (default monitor certifies nothing), so
+  // the drained slices contain zero certified requests.  from_rows({})
+  // throws (test_la pins this), so this sweep also proves the dispatcher
+  // never assembles an empty GEMM batch when a slice has no certified rows.
+  serve::ServeConfig config;
+  config.max_batch = 16;
+  config.max_wait = std::chrono::microseconds(100);
+  serve::ControllerServer server(config);
+  server.register_controller("vdp", make_student(),
+                             std::make_shared<MarkerController>(2, 1),
+                             serve::SafetyMonitor());
+  std::vector<std::future<Vec>> futures;
+  for (int k = 0; k < 12; ++k)
+    futures.push_back(server.submit("vdp", {0.1 * k, -0.1 * k}));
+  for (auto& future : futures)
+    EXPECT_EQ(future.get(), Vec{MarkerController::kMark});
+  const auto counters = server.counters("vdp");
+  EXPECT_EQ(counters.fallback, 12u);
+  EXPECT_EQ(counters.primary, 0u);
+  EXPECT_EQ(counters.batches, 0u);  // the GEMM path never ran.
 }
 
 TEST(ControllerServer, StopDrainsPendingAndRejectsNewWork) {
