@@ -49,11 +49,16 @@ namespace {
 void run_batch(std::size_t n, const BatchRolloutConfig& config,
                const std::function<void(std::size_t)>& f) {
   if (config.pool != nullptr) {
+    // Each rollout i derives its own RNG stream (derive_seed) and writes
+    // only results[i]; no cross-index state, so scheduling order cannot
+    // reach the outputs.
+    // DETLINT-ALLOW(raw-parallel-dispatch): per-index RNG, disjoint writes
     config.pool->parallel_for(n, f);
   } else if (config.num_workers == 1 || n <= 1) {
     for (std::size_t i = 0; i < n; ++i) f(i);
   } else {
     util::WorkerScope scope(config.num_workers);
+    // DETLINT-ALLOW(raw-parallel-dispatch): same contract as above
     scope.pool()->parallel_for(n, f);
   }
 }

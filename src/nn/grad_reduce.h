@@ -12,6 +12,16 @@
 // and reused across reduce() calls: the hot loop does no per-minibatch
 // allocation, and reusing buffers cannot change results because every chunk
 // is zeroed before it accumulates.
+//
+// Thread-safety by disjointness (why this type carries no mutex and no
+// COCKTAIL_GUARDED_BY): during reduce(), worker w touches exactly the
+// chunks_[c] entries that chunked_for hands it, and no chunk is handed to
+// two workers; the merge into total_ runs after the pool barrier, on the
+// calling thread only.  The reducer itself must not be shared across
+// concurrent reduce() calls — each trainer owns one.  This header is part
+// of the sanctioned reduction substrate, so tools/lint_determinism.py
+// exempts it from the raw-dispatch/FP-accumulation rules it enforces on
+// the rest of src/.
 #pragma once
 
 #include <algorithm>

@@ -13,6 +13,14 @@
 // What REMAINS algorithm-specific is only the per-episode body and the
 // fixed slot-order merge policy (step-budget cut for PPO, episode-budget /
 // warmup-step cursor for DDPG).
+//
+// Lock-free by disjointness (why nothing here carries a mutex or
+// COCKTAIL_GUARDED_BY): slot j reads only clones[j] and its private
+// slot_rng and writes only wave[j]; the chunked_for barrier orders those
+// writes before the caller's slot-order merge.  Distinct std::vector
+// elements are distinct memory locations, so concurrent slots never touch
+// a shared byte — the TSan CI entry runs the `rl` label over exactly these
+// waves to keep that claim honest.
 #pragma once
 
 #include <cstdint>

@@ -7,6 +7,11 @@
 namespace cocktail::serve {
 namespace {
 
+// Monotonic running max, relaxed per the Entry memory-order audit: the slot
+// is a standalone metric, so atomicity (no lost update between the load and
+// the CAS — compare_exchange_weak reloads `seen` on failure and the loop
+// re-checks `seen < value`) is all that is required; no ordering with other
+// memory is implied or needed.
 void bump_max(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
   std::uint64_t seen = slot.load(std::memory_order_relaxed);
   while (seen < value &&
@@ -43,7 +48,7 @@ void ControllerServer::register_controller(
   entry->primary = std::move(primary);
   entry->fallback = std::move(fallback);
   entry->monitor = std::move(monitor);
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  util::MutexLock lock(registry_mutex_);
   if (!entries_.emplace(name, std::move(entry)).second)
     throw std::invalid_argument("ControllerServer: '" + name +
                                 "' is already registered");
@@ -51,7 +56,7 @@ void ControllerServer::register_controller(
 
 ControllerServer::Entry& ControllerServer::find_entry(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  util::MutexLock lock(registry_mutex_);
   const auto it = entries_.find(name);
   if (it == entries_.end())
     throw std::invalid_argument("ControllerServer: unknown controller '" +
@@ -76,7 +81,7 @@ std::future<la::Vec> ControllerServer::submit(const std::string& name,
   std::future<la::Vec> future = request.result.get_future();
   if (config_.synchronous) {
     {
-      std::lock_guard<std::mutex> lock(queue_mutex_);
+      util::MutexLock lock(queue_mutex_);
       if (stopping_)
         throw std::runtime_error("ControllerServer::submit after stop");
     }
@@ -84,7 +89,7 @@ std::future<la::Vec> ControllerServer::submit(const std::string& name,
     return future;
   }
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    util::MutexLock lock(queue_mutex_);
     if (stopping_)
       throw std::runtime_error("ControllerServer::submit after stop");
     queue_.push_back(std::move(request));
@@ -199,9 +204,11 @@ void ControllerServer::execute_slice(std::vector<Request>& slice) {
 }
 
 void ControllerServer::dispatch_loop() {
-  std::unique_lock<std::mutex> lock(queue_mutex_);
+  util::MutexLock lock(queue_mutex_);
   for (;;) {
-    queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    queue_cv_.wait(lock, [this]() COCKTAIL_REQUIRES(queue_mutex_) {
+      return stopping_ || !queue_.empty();
+    });
     if (queue_.empty()) {
       if (stopping_) return;  // stop() raced a spurious wake; queue drained.
       continue;
@@ -210,9 +217,11 @@ void ControllerServer::dispatch_loop() {
         queue_.size() < config_.max_batch) {
       // Linger briefly: one bounded wait buys a fuller GEMM.  A full batch
       // or shutdown cuts the wait short.
-      queue_cv_.wait_for(lock, config_.max_wait, [&] {
-        return stopping_ || queue_.size() >= config_.max_batch;
-      });
+      queue_cv_.wait_for(lock, config_.max_wait,
+                         [this]() COCKTAIL_REQUIRES(queue_mutex_) {
+                           return stopping_ ||
+                                  queue_.size() >= config_.max_batch;
+                         });
     }
     std::vector<Request> slice;
     const std::size_t take = std::min(queue_.size(), config_.max_batch);
@@ -222,9 +231,9 @@ void ControllerServer::dispatch_loop() {
       queue_.pop_front();
     }
     ++inflight_;
-    lock.unlock();
+    lock.Unlock();  // run the slice without blocking submitters.
     execute_slice(slice);
-    lock.lock();
+    lock.Lock();
     --inflight_;
     if (queue_.empty() && inflight_ == 0) drain_cv_.notify_all();
   }
@@ -232,13 +241,15 @@ void ControllerServer::dispatch_loop() {
 
 void ControllerServer::drain() {
   if (config_.synchronous) return;
-  std::unique_lock<std::mutex> lock(queue_mutex_);
-  drain_cv_.wait(lock, [&] { return queue_.empty() && inflight_ == 0; });
+  util::MutexLock lock(queue_mutex_);
+  drain_cv_.wait(lock, [this]() COCKTAIL_REQUIRES(queue_mutex_) {
+    return queue_.empty() && inflight_ == 0;
+  });
 }
 
 void ControllerServer::stop() {
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    util::MutexLock lock(queue_mutex_);
     stopping_ = true;
   }
   queue_cv_.notify_all();

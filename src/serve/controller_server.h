@@ -23,13 +23,11 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -39,6 +37,8 @@
 #include "control/nn_controller.h"
 #include "la/vec.h"
 #include "serve/safety_monitor.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace cocktail::serve {
@@ -106,6 +106,23 @@ class ControllerServer {
   void stop();
 
  private:
+  // Memory orders (audited for the TSan CI entry): the four counters are
+  // monotonic metrics — each is internally consistent on its own, nothing
+  // is ever published *through* them, and no control flow reads one and
+  // then touches other shared state on the strength of that read.  Every
+  // access therefore uses std::memory_order_relaxed: the atomicity is what
+  // prevents lost increments and torn reads; ordering against the request
+  // payloads is provided by the queue_mutex_ hand-off (submit -> dispatcher)
+  // and by the promise/future hand-off (dispatcher -> waiter), both of
+  // which are full synchronization points.  counters() may observe a
+  // mid-batch snapshot (e.g. primary already bumped, batches not yet) —
+  // exact totals are only guaranteed once the requests' futures resolved
+  // (drain()/stop()), which test_serve and the stress suite pin.
+  //
+  // The controller fields (primary/fallback/monitor) are immutable after
+  // register_controller publishes the Entry under registry_mutex_; entries
+  // are never erased and unique_ptr gives them a stable address, so
+  // references handed out by find_entry stay valid without the lock.
   struct Entry {
     std::shared_ptr<const ctrl::NnController> primary;
     ctrl::ControllerPtr fallback;
@@ -123,23 +140,40 @@ class ControllerServer {
     std::promise<la::Vec> result;
   };
 
-  [[nodiscard]] Entry& find_entry(const std::string& name) const;
+  [[nodiscard]] Entry& find_entry(const std::string& name) const
+      COCKTAIL_EXCLUDES(registry_mutex_);
   void execute_inline(Request& request);
   void execute_slice(std::vector<Request>& slice);
-  void dispatch_loop();
+  void dispatch_loop() COCKTAIL_EXCLUDES(queue_mutex_);
 
   ServeConfig config_;
   util::WorkerScope workers_;
 
-  mutable std::mutex registry_mutex_;
-  std::unordered_map<std::string, std::unique_ptr<Entry>> entries_;
+  // Two independent locks, never held together: registry_mutex_ covers the
+  // name -> Entry map (lookups release it before any inference runs),
+  // queue_mutex_ covers the request queue and the dispatcher lifecycle.
+  // ACQUIRED_BEFORE pins that independence: were a future change to nest
+  // them the other way, the analysis reports the inversion.
+  mutable util::Mutex registry_mutex_
+      COCKTAIL_ACQUIRED_BEFORE(queue_mutex_);
+  std::unordered_map<std::string, std::unique_ptr<Entry>> entries_
+      COCKTAIL_GUARDED_BY(registry_mutex_);
 
-  std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::condition_variable drain_cv_;
-  std::deque<Request> queue_;
-  std::size_t inflight_ = 0;
-  bool stopping_ = false;
+  // Shutdown/drain handshake (audited for the TSan CI entry): submit()
+  // enqueues under queue_mutex_ only while !stopping_; stop() flips
+  // stopping_ under the lock, wakes the dispatcher, and joins it.  The
+  // dispatcher keeps executing drained slices until the queue is empty AND
+  // stopping_ holds, so every accepted request is answered before the join
+  // returns — there is no window in which a request is accepted but never
+  // executed.  inflight_ counts slices released from the queue but still
+  // executing; drain() waits on (queue empty && inflight_ == 0) via
+  // drain_cv_, which the dispatcher signals while holding queue_mutex_.
+  util::Mutex queue_mutex_;
+  util::CondVar queue_cv_;
+  util::CondVar drain_cv_;
+  std::deque<Request> queue_ COCKTAIL_GUARDED_BY(queue_mutex_);
+  std::size_t inflight_ COCKTAIL_GUARDED_BY(queue_mutex_) = 0;
+  bool stopping_ COCKTAIL_GUARDED_BY(queue_mutex_) = false;
   std::thread dispatcher_;
 };
 

@@ -13,6 +13,12 @@
 // by up to `margin` in the inf-norm, certify only states whose whole
 // ±margin box lies in the certified region, and bound the action drift via
 // the controller's certified Lipschitz constant (action_deviation_bound).
+//
+// Thread-safety: a SafetyMonitor is immutable after construction (the
+// factories return it by value; certified() is const over const state), so
+// ControllerServer batch workers call certified() concurrently with no lock
+// — which is why registration hands the monitor to the registry by value
+// rather than sharing a mutable reference with the caller.
 #pragma once
 
 #include <memory>

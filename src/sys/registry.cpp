@@ -16,6 +16,8 @@ SystemPtr make_system(const std::string& name) {
 }
 
 const std::vector<std::string>& system_names() {
+  // Immutable after its (language-serialized) magic-static initialization,
+  // so the returned reference is safe to read from any thread.
   static const std::vector<std::string> names = {"vanderpol", "threed",
                                                  "cartpole"};
   return names;

@@ -3,13 +3,17 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
+
+#include "util/mutex.h"
 
 namespace cocktail::util {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_mutex;
+// Serializes whole lines to stderr so concurrent workers (pool jobs, the
+// serve dispatcher) never interleave mid-line.  The stream itself is the
+// guarded resource; there is no guarded data member to annotate.
+Mutex g_mutex;
 
 const char* tag(LogLevel level) {
   switch (level) {
@@ -41,7 +45,7 @@ LogLevel log_level() noexcept { return g_level.load(); }
 
 void log_line(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  const std::scoped_lock lock(g_mutex);
+  const MutexLock lock(g_mutex);
   std::fprintf(stderr, "[%8.2fs %s] %s\n", elapsed_seconds(), tag(level),
                message.c_str());
 }

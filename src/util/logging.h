@@ -3,6 +3,14 @@
 // The library is quiet by default (kWarn); benches and examples raise the
 // level to kInfo for progress reporting.  Output goes to stderr so CSV/table
 // rows on stdout stay machine-readable.
+//
+// Thread-safety contract: every entry point is callable from any thread.
+// The level threshold is an atomic (callers that race a set_log_level only
+// risk dropping/keeping a borderline message, never corruption), and
+// log_line serializes whole lines through
+// one internal util::Mutex so concurrent workers never interleave
+// characters (see logging.cpp).  LogStream instances are stack-local and
+// unshared, so they need no locks of their own.
 #pragma once
 
 #include <sstream>

@@ -8,6 +8,10 @@ namespace cocktail::util {
 namespace {
 
 std::string env_or(const char* name, const std::string& fallback) {
+  // Called only from the magic-static initializers below (each runs once,
+  // synchronized by the C++ guarantee); the library never calls setenv, so
+  // the getenv data race clang-tidy worries about cannot occur.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* value = std::getenv(name);
   return (value != nullptr && *value != '\0') ? value : fallback;
 }
@@ -24,6 +28,10 @@ const std::string& ensure_dir(const std::string& path) {
 }
 
 std::string model_dir() {
+  // Thread-safety: the one mutable step (create_directories + env lookup)
+  // runs inside a magic-static initializer, which the language serializes;
+  // afterwards every caller copies an immutable string.  Concurrent
+  // serve/train paths can therefore resolve cache paths lock-free.
   static const std::string dir =
       ensure_dir(env_or("COCKTAIL_MODEL_DIR", "cocktail_models"));
   return dir;

@@ -5,6 +5,14 @@
 // 64-bit seed so experiments are reproducible run-to-run.  The generator is
 // xoshiro256** (public domain, Blackman & Vigna) seeded through splitmix64,
 // which gives high-quality streams even from small consecutive seeds.
+//
+// This header is the ONE sanctioned randomness source: the determinism lint
+// (tools/lint_determinism.py, rule rng-source) rejects std::random_device,
+// rand(), <random> engines, and time-derived seeds anywhere else in src/.
+// Parallel code never shares an Rng — each unit of work derives a private
+// stream with derive_seed(seed, k) (Rng itself is not thread-safe and
+// carries no locks; a shared generator would make the draw order, and thus
+// the results, depend on scheduling even if it were synchronized).
 #pragma once
 
 #include <cstdint>

@@ -9,6 +9,9 @@ namespace cocktail::util {
 namespace {
 
 int env_thread_count() {
+  // Read once at shared-pool construction; the library never calls setenv,
+  // so the getenv data race clang-tidy worries about cannot occur.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* value = std::getenv("COCKTAIL_THREADS");
   if (value == nullptr || *value == '\0') return 0;
   const int parsed = std::atoi(value);
@@ -37,7 +40,7 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -58,7 +61,7 @@ void ThreadPool::enqueue(std::function<void()> job) {
         "ThreadPool: nested submission from a pool worker (use parallel_for, "
         "which runs nested batches inline, or submit to a different pool)");
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_)
       throw std::runtime_error("ThreadPool: submit after shutdown");
     jobs_.push(std::move(job));
@@ -71,8 +74,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+      MutexLock lock(mutex_);
+      cv_.wait(lock, [this]() COCKTAIL_REQUIRES(mutex_) {
+        return stopping_ || !jobs_.empty();
+      });
       if (jobs_.empty()) return;  // stopping_ and drained.
       job = std::move(jobs_.front());
       jobs_.pop();
@@ -102,17 +107,21 @@ void ThreadPool::parallel_for(std::size_t n,
     const std::size_t total;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
-    std::mutex m;
-    std::condition_variable cv;
-    std::exception_ptr error;  // first failure; guarded by m.
+    Mutex m;
+    CondVar cv;
+    std::exception_ptr error COCKTAIL_GUARDED_BY(m);  // first failure.
   };
   auto state = std::make_shared<State>(n);
 
   // Marks k indices finished (run or abandoned); wakes the caller on the
-  // last one.
+  // last one.  `done` is a seq_cst atomic: taking m here only pairs the
+  // notify with the caller's predicate re-check, closing the classic
+  // lost-wakeup window (pred false -> increment -> notify -> caller
+  // sleeps).  With the lock held, the notify cannot land between the
+  // caller's pred check and its sleep.
   auto complete = [state](std::size_t k) {
     if (state->done.fetch_add(k) + k == state->total) {
-      std::lock_guard<std::mutex> lock(state->m);
+      MutexLock lock(state->m);
       state->cv.notify_all();
     }
   };
@@ -128,7 +137,7 @@ void ThreadPool::parallel_for(std::size_t n,
         f(i);
       } catch (...) {
         {
-          std::lock_guard<std::mutex> lock(state->m);
+          MutexLock lock(state->m);
           if (!state->error) state->error = std::current_exception();
         }
         // Stop handing out further indices.  Whatever was never claimed
@@ -146,9 +155,10 @@ void ThreadPool::parallel_for(std::size_t n,
   for (std::size_t i = 0; i < drivers; ++i) enqueue(drive);
   drive();
 
-  std::unique_lock<std::mutex> lock(state->m);
-  state->cv.wait(lock,
-                 [&] { return state->done.load() == state->total; });
+  MutexLock lock(state->m);
+  // The predicate reads only the seq_cst `done` atomic, so it needs no
+  // REQUIRES annotation; `error` below is guarded and the lock is held.
+  state->cv.wait(lock, [&] { return state->done.load() == state->total; });
   if (state->error) std::rethrow_exception(state->error);
 }
 

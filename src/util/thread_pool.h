@@ -11,16 +11,17 @@
 #pragma once
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace cocktail::util {
 
@@ -82,14 +83,17 @@ class ThreadPool {
   static ThreadPool& shared();
 
  private:
-  void enqueue(std::function<void()> job);
+  /// Takes mutex_ itself, so the caller must not hold it.
+  void enqueue(std::function<void()> job) COCKTAIL_EXCLUDES(mutex_);
   void worker_loop();
 
+  /// Immutable after the constructor returns (joined, never reassigned), so
+  /// unguarded size() reads are safe.
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> jobs_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  std::queue<std::function<void()>> jobs_ COCKTAIL_GUARDED_BY(mutex_);
+  Mutex mutex_;
+  CondVar cv_;
+  bool stopping_ COCKTAIL_GUARDED_BY(mutex_) = false;
 };
 
 // --- deterministic chunked reduction ---------------------------------------
