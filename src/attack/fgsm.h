@@ -33,7 +33,7 @@ struct FgsmConfig {
 
 class FgsmAttack final : public PerturbationModel {
  public:
-  FgsmAttack(la::Vec bound, FgsmConfig config = {});
+  explicit FgsmAttack(la::Vec bound, FgsmConfig config = {});
 
   [[nodiscard]] la::Vec perturb(const la::Vec& state,
                                 const ctrl::Controller& controller,

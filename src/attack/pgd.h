@@ -20,7 +20,7 @@ struct PgdConfig {
 
 class PgdAttack final : public PerturbationModel {
  public:
-  PgdAttack(la::Vec bound, PgdConfig config = {});
+  explicit PgdAttack(la::Vec bound, PgdConfig config = {});
 
   [[nodiscard]] la::Vec perturb(const la::Vec& state,
                                 const ctrl::Controller& controller,

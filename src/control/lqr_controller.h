@@ -14,7 +14,7 @@ namespace cocktail::ctrl {
 
 class LqrController final : public Controller {
  public:
-  LqrController(la::Matrix gain, std::string label = "lqr");
+  explicit LqrController(la::Matrix gain, std::string label = "lqr");
 
   /// Synthesizes the gain from `system.linearize()` with diagonal
   /// Q = state_weight*I and R = control_weight*I.

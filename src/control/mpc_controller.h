@@ -28,7 +28,7 @@ struct MpcConfig {
 
 class MpcController final : public Controller {
  public:
-  MpcController(sys::SystemPtr system, MpcConfig config = {},
+  explicit MpcController(sys::SystemPtr system, MpcConfig config = {},
                 std::string label = "mpc");
 
   /// Plans from scratch at every call (stateless receding horizon).  The

@@ -77,7 +77,8 @@ class ExpertTrainingEnv final : public rl::Env {
 
  protected:
   la::Vec do_reset(util::Rng& rng) override;
-  rl::StepResult do_step(const la::Vec& action, util::Rng& rng) override;
+  [[nodiscard]] rl::StepResult do_step(const la::Vec& action,
+                                       util::Rng& rng) override;
   [[nodiscard]] std::unique_ptr<rl::Env> do_clone() const override;
 
  private:
@@ -103,7 +104,8 @@ class MixingEnv final : public rl::Env {
  protected:
   la::Vec do_reset(util::Rng& rng) override;
   /// `action` in [-1,1]^n; the env scales by the weight bound AB.
-  rl::StepResult do_step(const la::Vec& action, util::Rng& rng) override;
+  [[nodiscard]] rl::StepResult do_step(const la::Vec& action,
+                                       util::Rng& rng) override;
   [[nodiscard]] std::unique_ptr<rl::Env> do_clone() const override;
 
  private:
@@ -134,7 +136,8 @@ class FiniteWeightedEnv final : public rl::Env {
  protected:
   la::Vec do_reset(util::Rng& rng) override;
   /// `action` holds the table index in action[0].
-  rl::StepResult do_step(const la::Vec& action, util::Rng& rng) override;
+  [[nodiscard]] rl::StepResult do_step(const la::Vec& action,
+                                       util::Rng& rng) override;
   [[nodiscard]] std::unique_ptr<rl::Env> do_clone() const override;
 
  private:
@@ -159,7 +162,8 @@ class SwitchingEnv final : public rl::Env {
  protected:
   la::Vec do_reset(util::Rng& rng) override;
   /// `action` holds the selected expert index in action[0].
-  rl::StepResult do_step(const la::Vec& action, util::Rng& rng) override;
+  [[nodiscard]] rl::StepResult do_step(const la::Vec& action,
+                                       util::Rng& rng) override;
   [[nodiscard]] std::unique_ptr<rl::Env> do_clone() const override;
 
  private:

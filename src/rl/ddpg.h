@@ -68,13 +68,13 @@ class Ddpg {
 
   /// Trains on `env` and returns stats; the actor/critic are then available
   /// through actor()/critic().  Actions sent to the env live in [-1, 1]^dim.
-  DdpgStats train(Env& env);
+  [[nodiscard]] DdpgStats train(Env& env);
 
   /// Incremental interface: initialize once, then run episodes in chunks
   /// (callers interleave evaluation / snapshotting between chunks).
   void initialize(Env& env);
   /// Runs `episodes` further episodes; appends to the returned stats.
-  DdpgStats run_episodes(Env& env, int episodes);
+  [[nodiscard]] DdpgStats run_episodes(Env& env, int episodes);
 
   /// Optional per-episode progress callback (episode index, return).
   void set_progress_callback(std::function<void(int, double)> cb) {

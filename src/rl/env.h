@@ -62,7 +62,7 @@ class Env {
   /// holding the choice index.  Throws std::logic_error when the previous
   /// step already ended the episode (`terminal` was set and no reset
   /// followed) — stepping a finished episode has no defined semantics.
-  StepResult step(const la::Vec& action, util::Rng& rng) {
+  [[nodiscard]] StepResult step(const la::Vec& action, util::Rng& rng) {
     if (terminal_pending_)
       throw std::logic_error(
           "rl::Env::step: episode already reached a terminal state; "
@@ -86,7 +86,8 @@ class Env {
   Env& operator=(const Env&) = default;
 
   virtual la::Vec do_reset(util::Rng& rng) = 0;
-  virtual StepResult do_step(const la::Vec& action, util::Rng& rng) = 0;
+  [[nodiscard]] virtual StepResult do_step(const la::Vec& action,
+                                           util::Rng& rng) = 0;
   [[nodiscard]] virtual std::unique_ptr<Env> do_clone() const = 0;
 
  private:

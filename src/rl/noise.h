@@ -9,7 +9,7 @@ namespace cocktail::rl {
 class OuNoise {
  public:
   /// dx = theta * (mu - x) dt + sigma dW, discretized with unit dt.
-  OuNoise(std::size_t dim, double theta = 0.15, double sigma = 0.2,
+  explicit OuNoise(std::size_t dim, double theta = 0.15, double sigma = 0.2,
           double mu = 0.0);
 
   /// Resets the internal state to mu (start of an episode).

@@ -74,12 +74,12 @@ class PpoGaussian {
 
   /// Trains on `env`; actions are sampled in (roughly) [-1,1]^dim — the
   /// tanh mean plus Gaussian noise, clipped — and the env scales them.
-  PpoStats train(Env& env);
+  [[nodiscard]] PpoStats train(Env& env);
 
   /// Incremental interface: initialize once, then run iteration chunks
   /// (callers snapshot/evaluate the policy between chunks).
   void initialize(Env& env);
-  PpoStats run_iterations(Env& env, int iterations);
+  [[nodiscard]] PpoStats run_iterations(Env& env, int iterations);
 
   void set_progress_callback(std::function<void(int, double)> cb) {
     progress_ = std::move(cb);
@@ -112,9 +112,9 @@ class PpoCategorical {
  public:
   explicit PpoCategorical(PpoConfig config);
 
-  PpoStats train(Env& env);
+  [[nodiscard]] PpoStats train(Env& env);
   void initialize(Env& env);
-  PpoStats run_iterations(Env& env, int iterations);
+  [[nodiscard]] PpoStats run_iterations(Env& env, int iterations);
 
   void set_progress_callback(std::function<void(int, double)> cb) {
     progress_ = std::move(cb);

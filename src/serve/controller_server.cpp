@@ -216,12 +216,15 @@ void ControllerServer::dispatch_loop() {
     if (!stopping_ && config_.max_wait.count() > 0 &&
         queue_.size() < config_.max_batch) {
       // Linger briefly: one bounded wait buys a fuller GEMM.  A full batch
-      // or shutdown cuts the wait short.
-      queue_cv_.wait_for(lock, config_.max_wait,
-                         [this]() COCKTAIL_REQUIRES(queue_mutex_) {
-                           return stopping_ ||
-                                  queue_.size() >= config_.max_batch;
-                         });
+      // or shutdown cuts the wait short.  The predicate result is
+      // deliberately unused: timeout and full batch proceed identically —
+      // drain whatever the queue now holds.
+      static_cast<void>(
+          queue_cv_.wait_for(lock, config_.max_wait,
+                             [this]() COCKTAIL_REQUIRES(queue_mutex_) {
+                               return stopping_ ||
+                                      queue_.size() >= config_.max_batch;
+                             }));
     }
     std::vector<Request> slice;
     const std::size_t take = std::min(queue_.size(), config_.max_batch);

@@ -45,6 +45,13 @@ SafetyMonitor SafetyMonitor::inside_invariant(verify::InvariantResult result,
 }
 
 bool SafetyMonitor::certified(const la::Vec& state) const {
+  // A corrupted observation certifies nothing, in *every* mode: the
+  // exclusion-direction comparisons below are NaN-blind (each comparison is
+  // false for NaN, so a garbage state would fall through as certified), and
+  // even trust_all promises only that finite states are served by the
+  // primary — a non-finite state always routes to the fallback.
+  for (std::size_t d = 0; d < state.size(); ++d)
+    if (!std::isfinite(state[d])) return false;
   switch (mode_) {
     case Mode::kNone:
       return false;

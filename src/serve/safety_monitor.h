@@ -54,7 +54,9 @@ class SafetyMonitor {
       verify::InvariantResult result, sys::Box domain, double margin = 0.0);
 
   /// True when serving `state` is covered by the certificate.  A state of
-  /// the wrong dimension is never certified.
+  /// the wrong dimension is never certified, and neither is a state with
+  /// any non-finite (NaN/Inf) component — in every mode, including
+  /// trust_all: a corrupted observation always routes to the fallback.
   [[nodiscard]] bool certified(const la::Vec& state) const;
 
   /// Sound bound on the served action's drift under observation uncertainty

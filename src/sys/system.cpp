@@ -19,8 +19,14 @@ Box Box::symmetric(std::size_t dim, double half_width) {
 bool Box::contains(const la::Vec& point) const {
   if (point.size() != dim())
     throw std::invalid_argument("Box::contains: dimension mismatch");
-  for (std::size_t i = 0; i < point.size(); ++i)
+  for (std::size_t i = 0; i < point.size(); ++i) {
+    // The exclusion-direction comparison below is NaN-blind (both clauses
+    // are false for NaN), so reject non-finite components first: a
+    // non-finite coordinate is never contained, even in an unbounded
+    // (±kUnbounded) dimension.
+    if (!std::isfinite(point[i])) return false;
     if (point[i] < lo[i] || point[i] > hi[i]) return false;
+  }
   return true;
 }
 

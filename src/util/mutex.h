@@ -34,7 +34,9 @@ class COCKTAIL_CAPABILITY("mutex") Mutex {
 
   void lock() COCKTAIL_ACQUIRE() { m_.lock(); }
   void unlock() COCKTAIL_RELEASE() { m_.unlock(); }
-  bool try_lock() COCKTAIL_TRY_ACQUIRE(true) { return m_.try_lock(); }
+  [[nodiscard]] bool try_lock() COCKTAIL_TRY_ACQUIRE(true) {
+    return m_.try_lock();
+  }
 
  private:
   std::mutex m_;
@@ -110,7 +112,7 @@ class CondVar {
 
   /// Blocks until `pred()` holds or `timeout` elapsed; returns pred().
   template <class Rep, class Period, class Predicate>
-  bool wait_for(MutexLock& lock,
+  [[nodiscard]] bool wait_for(MutexLock& lock,
                 const std::chrono::duration<Rep, Period>& timeout,
                 Predicate pred) COCKTAIL_NO_THREAD_SAFETY_ANALYSIS {
     const auto deadline = std::chrono::steady_clock::now() + timeout;

@@ -59,7 +59,7 @@ class Rng {
   /// Uniform integer in [lo, hi] inclusive.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
   /// Bernoulli draw with success probability p.
-  bool bernoulli(double p) noexcept;
+  [[nodiscard]] bool bernoulli(double p) noexcept;
 
   /// Vector of n uniform draws in [lo, hi).
   std::vector<double> uniform_vec(std::size_t n, double lo, double hi);

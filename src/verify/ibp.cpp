@@ -6,8 +6,9 @@ namespace cocktail::verify {
 
 Interval activate_interval(nn::Activation act, const Interval& z) {
   // All four activations are monotone non-decreasing: the image is the
-  // interval between the endpoint images.
-  return {nn::activate(act, z.lo()), nn::activate(act, z.hi())};
+  // interval between the endpoint images, outward-rounded because the
+  // libm-backed activations (tanh, sigmoid) are only correct to ~1 ulp.
+  return outward(nn::activate(act, z.lo()), nn::activate(act, z.hi()));
 }
 
 IBox ibp_enclose(const nn::Mlp& net, const IBox& box) {

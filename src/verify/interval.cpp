@@ -6,20 +6,14 @@
 #include <stdexcept>
 
 #include "util/csv.h"
+#include "verify/tolerances.h"
 
 namespace cocktail::verify {
-namespace {
-
-/// Outward inflation applied after every arithmetic operation; dominates
-/// round-to-nearest error at the magnitudes (|x| < 1e6) these systems see.
-constexpr double kOutward = 1e-12;
 
 Interval outward(double lo, double hi) {
   const double scale = std::max({std::abs(lo), std::abs(hi), 1.0});
-  return {lo - kOutward * scale, hi + kOutward * scale};
+  return {lo - kOutwardEps * scale, hi + kOutwardEps * scale};
 }
-
-}  // namespace
 
 Interval Interval::operator+(const Interval& o) const {
   return outward(lo_ + o.lo_, hi_ + o.hi_);
@@ -58,6 +52,10 @@ Interval Interval::square() const {
   return outward(0.0, std::max(lo_ * lo_, hi_ * hi_));
 }
 
+Interval Interval::inflate(double r) const {
+  return outward(lo_ - r, hi_ + r);
+}
+
 Interval Interval::hull(const Interval& o) const {
   return {std::min(lo_, o.lo_), std::max(hi_, o.hi_)};
 }
@@ -91,7 +89,7 @@ Interval sin(const Interval& x) {
       std::ceil((x.lo() + std::numbers::pi / 2.0) / kTwoPi) * kTwoPi -
       std::numbers::pi / 2.0;
   if (first_min <= x.hi()) lo = -1.0;
-  return Interval{lo, hi}.inflate(1e-12);
+  return outward(lo, hi);
 }
 
 Interval cos(const Interval& x) {
@@ -171,6 +169,13 @@ std::pair<IBox, IBox> box_bisect(const IBox& box) {
   return {std::move(left), std::move(right)};
 }
 
+double slice_face(double lo, double hi, std::size_t k, std::size_t parts) {
+  if (k == 0) return lo;
+  if (k >= parts) return hi;
+  const double w = (hi - lo) / static_cast<double>(parts);
+  return lo + static_cast<double>(k) * w;
+}
+
 std::vector<IBox> box_subdivide(const IBox& box,
                                 const std::vector<int>& parts_per_dim) {
   if (parts_per_dim.size() != box.size())
@@ -189,9 +194,8 @@ std::vector<IBox> box_subdivide(const IBox& box,
       const auto parts = static_cast<std::size_t>(parts_per_dim[d]);
       const std::size_t k = rem % parts;
       rem /= parts;
-      const double w = box[d].width() / static_cast<double>(parts);
-      sub[d] = {box[d].lo() + static_cast<double>(k) * w,
-                box[d].lo() + static_cast<double>(k + 1) * w};
+      sub[d] = {slice_face(box[d].lo(), box[d].hi(), k, parts),
+                slice_face(box[d].lo(), box[d].hi(), k + 1, parts)};
     }
     out.push_back(std::move(sub));
   }

@@ -6,12 +6,26 @@
 // verified model is the simulated model by construction.
 //
 // Rounding: operations use round-to-nearest double arithmetic and then
-// inflate outward by one ulp-scale epsilon (`kOutward`), which dominates
-// rounding error at the magnitudes these systems produce.  This is the
-// pragmatic scheme used by several reachability tools; a fully
-// directed-rounding backend could be swapped in behind the same interface.
+// inflate outward by one ulp-scale epsilon (verify::outward, scaled by
+// kOutwardEps from verify/tolerances.h), which dominates rounding error at
+// the magnitudes these systems produce.  This is the pragmatic scheme used
+// by several reachability tools; a fully directed-rounding backend could be
+// swapped in behind the same interface.  Endpoint arithmetic anywhere in
+// src/verify must flow through outward() — enforced by
+// tools/lint_soundness.py (rule `raw-endpoint-arith`).
+//
+// Non-finite contract: an interval with a NaN endpoint is !valid(),
+// contains() nothing, and intersects() nothing — every membership predicate
+// is written in the accepting direction (`lo <= x && x <= hi`), so a NaN
+// operand fails every clause and the query fails *closed*.  Operations on
+// non-finite inputs may produce !valid() results (e.g. 0 * inf); callers on
+// the certificate path must check valid() before trusting a derived bound.
+// Infinite endpoints themselves are meaningful (unbounded safe-region
+// dimensions use ±inf) and behave per IEEE-754.  Pinned by
+// tests/test_verify_interval.cpp's non-finite suite.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -31,14 +45,21 @@ class Interval {
   [[nodiscard]] double width() const noexcept { return hi_ - lo_; }
   [[nodiscard]] double mid() const noexcept { return 0.5 * (lo_ + hi_); }
   [[nodiscard]] double radius() const noexcept { return 0.5 * (hi_ - lo_); }
+  // SNDLINT-ALLOW(nan-blind-compare): accepting direction — a NaN endpoint fails `lo <= hi`, so the interval reports invalid (fails closed)
   [[nodiscard]] bool valid() const noexcept { return lo_ <= hi_; }
 
+  // The containment predicates below deliberately avoid isfinite guards:
+  // infinite *endpoints* are meaningful (unbounded safe-region dimensions),
+  // and the accepting-direction comparisons already fail closed on NaN.
+  // SNDLINT-ALLOW(nan-blind-compare): accepting direction — NaN x fails both clauses, so a NaN query point is never contained
   [[nodiscard]] bool contains(double x) const noexcept {
     return lo_ <= x && x <= hi_;
   }
+  // SNDLINT-ALLOW(nan-blind-compare): accepting direction — a NaN endpoint on either side fails a clause, so NaN never certifies an enclosure
   [[nodiscard]] bool contains(const Interval& other) const noexcept {
     return lo_ <= other.lo_ && other.hi_ <= hi_;
   }
+  // SNDLINT-ALLOW(nan-blind-compare): accepting direction — NaN operands report no intersection rather than a phantom one
   [[nodiscard]] bool intersects(const Interval& other) const noexcept {
     return lo_ <= other.hi_ && other.lo_ <= hi_;
   }
@@ -54,8 +75,8 @@ class Interval {
 
   /// Tight enclosure of x² (non-negative).
   [[nodiscard]] Interval square() const;
-  /// Minkowski sum with [-r, r].
-  [[nodiscard]] Interval inflate(double r) const { return {lo_ - r, hi_ + r}; }
+  /// Minkowski sum with [-r, r], outward-rounded.
+  [[nodiscard]] Interval inflate(double r) const;
   /// Smallest interval containing both.
   [[nodiscard]] Interval hull(const Interval& o) const;
   /// Intersection clamped to validity; callers should check valid().
@@ -69,6 +90,22 @@ class Interval {
   double lo_ = 0.0;
   double hi_ = 0.0;
 };
+
+/// The one sanctioned way to turn computed endpoints into an interval:
+/// inflates [lo, hi] outward by kOutwardEps * max(|lo|, |hi|, 1) so
+/// round-to-nearest error in the endpoint computation can never shrink the
+/// enclosure.  Exact operations (negation, min/max, clamp, copies) may
+/// construct intervals directly; everything else routes through here
+/// (enforced by tools/lint_soundness.py, rule `raw-endpoint-arith`).
+[[nodiscard]] Interval outward(double lo, double hi);
+
+/// Face k of `parts` uniform slices of [lo, hi].  The extreme faces are
+/// pinned to the exact parent endpoints and interior faces are shared
+/// bitwise between adjacent slices, so the union of the slices covers the
+/// parent box exactly — `lo + parts * w` can round strictly below `hi`,
+/// which would leave an uncovered sliver at the top face.
+[[nodiscard]] double slice_face(double lo, double hi, std::size_t k,
+                                std::size_t parts);
 
 /// Enclosures of sin/cos found by ADL from the templated dynamics.
 [[nodiscard]] Interval sin(const Interval& x);

@@ -27,9 +27,8 @@ struct GridIndexer {
       const auto g = static_cast<std::size_t>(grid[d]);
       const std::size_t k = rem % g;
       rem /= g;
-      const double w = (domain.hi[d] - domain.lo[d]) / static_cast<double>(g);
-      box[d] = {domain.lo[d] + static_cast<double>(k) * w,
-                domain.lo[d] + static_cast<double>(k + 1) * w};
+      box[d] = {slice_face(domain.lo[d], domain.hi[d], k, g),
+                slice_face(domain.lo[d], domain.hi[d], k + 1, g)};
     }
     return box;
   }

@@ -69,9 +69,8 @@ std::vector<IBox> pave_boxes(const std::vector<IBox>& boxes,
     for (std::size_t d = 0; d < dim; ++d) {
       const std::size_t k = rem % cells[d];
       rem /= cells[d];
-      const double w = hull[d].width() / static_cast<double>(cells[d]);
-      cell[d] = {hull[d].lo() + static_cast<double>(k) * w,
-                 hull[d].lo() + static_cast<double>(k + 1) * w};
+      cell[d] = {slice_face(hull[d].lo(), hull[d].hi(), k, cells[d]),
+                 slice_face(hull[d].lo(), hull[d].hi(), k + 1, cells[d])};
     }
     out.push_back(std::move(cell));
   }

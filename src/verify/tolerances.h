@@ -1,0 +1,24 @@
+// Named numeric tolerances for the verification substrate.
+//
+// Every tolerance the certificate path consults lives in this header, with
+// its magnitude justified once at the definition — never as a bare literal
+// at a use site, where the next reader cannot tell a considered bound from
+// a guess.  tools/lint_soundness.py (rule `magic-tolerance`) enforces the
+// policy over src/verify and src/serve.
+#pragma once
+
+namespace cocktail::verify {
+
+/// Relative outward inflation applied by verify::outward() to every
+/// computed interval endpoint.  Round-to-nearest double arithmetic is
+/// correct to 0.5 ulp per operation (~1.1e-16 relative); the handful of
+/// operations behind any single endpoint keep the accumulated error orders
+/// of magnitude below 1e-12 at the magnitudes these systems produce
+/// (|x| < 1e6), so inflating by kOutwardEps * max(|lo|, |hi|, 1) strictly
+/// dominates the rounding error while costing ~1e-12 of enclosure width —
+/// invisible next to the interval widths (>= 1e-3) the reach/invariant
+/// grids operate on.  A fully directed-rounding backend could replace this
+/// scheme behind the same outward() interface.
+inline constexpr double kOutwardEps = 1e-12;
+
+}  // namespace cocktail::verify

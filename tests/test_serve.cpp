@@ -8,6 +8,7 @@
 #include <cmath>
 #include <cstdio>
 #include <future>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -127,6 +128,34 @@ TEST(SafetyMonitor, InvariantMembershipFollowsTheGrid) {
   EXPECT_FALSE(monitor.certified({1.5, 0.5}));    // outside the domain.
 }
 
+// Regression for the NaN-certified hole: the box mode's exclusion-direction
+// comparison chain (`s < lo || s > hi`) is false for NaN in both clauses, so
+// a corrupted observation used to fall through as certified and get served
+// by the primary network.  Non-finite states must fail certification in
+// every mode — including trust_all, whose promise covers finite states only.
+TEST(SafetyMonitor, NonFiniteStatesAreNeverCertified) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<serve::SafetyMonitor> monitors = {
+      serve::SafetyMonitor::trust_all(),
+      serve::SafetyMonitor::inside_box(unit_box()),
+      serve::SafetyMonitor::inside_box(unit_box(), 0.1),
+      serve::SafetyMonitor::inside_invariant(checkerboard_invariant(),
+                                             unit_box()),
+      serve::SafetyMonitor::inside_invariant(checkerboard_invariant(),
+                                             unit_box(), 0.2),
+  };
+  for (std::size_t m = 0; m < monitors.size(); ++m) {
+    for (const double bad : {nan, inf, -inf}) {
+      EXPECT_FALSE(monitors[m].certified({bad, 0.0})) << "monitor " << m;
+      EXPECT_FALSE(monitors[m].certified({0.0, bad})) << "monitor " << m;
+      EXPECT_FALSE(monitors[m].certified({bad, bad})) << "monitor " << m;
+    }
+    // A finite in-regime point stays certified (lower-left member cell).
+    EXPECT_TRUE(monitors[m].certified({-0.5, -0.5})) << "monitor " << m;
+  }
+}
+
 TEST(SafetyMonitor, InvariantMarginChecksTheWholeUncertaintyBox) {
   const auto monitor = serve::SafetyMonitor::inside_invariant(
       checkerboard_invariant(), unit_box(), 0.2);
@@ -212,6 +241,33 @@ TEST(ControllerServer, SynchronousPrimaryAndFallbackRouting) {
   EXPECT_EQ(counters.fallback, 1u);
   EXPECT_EQ(counters.batches, 1u);
   EXPECT_EQ(counters.max_batch_rows, 1u);
+}
+
+// The serving half of the NaN-certified regression: corrupted observations
+// submitted through the server are answered by the trusted fallback (never
+// the primary network) and show up in the fallback counter — even under
+// trust_all, where every finite state is served by the primary.
+TEST(ControllerServer, NonFiniteSubmitsAreAnsweredByTheFallback) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const auto student = make_student();
+  for (const auto& monitor :
+       {serve::SafetyMonitor::trust_all(),
+        serve::SafetyMonitor::inside_box(unit_box())}) {
+    serve::ControllerServer server(sync_config());
+    server.register_controller(
+        "vdp", student, std::make_shared<MarkerController>(2, 1), monitor);
+    const std::vector<Vec> bad_states = {
+        {nan, 0.0}, {0.0, nan}, {inf, 0.0}, {0.0, -inf}, {nan, inf}};
+    for (const Vec& s : bad_states)
+      EXPECT_EQ(server.submit("vdp", s).get(), Vec{MarkerController::kMark});
+    // A finite in-regime request still reaches the primary.
+    EXPECT_EQ(server.submit("vdp", {0.3, -0.4}).get(),
+              student->act({0.3, -0.4}));
+    const auto counters = server.counters("vdp");
+    EXPECT_EQ(counters.fallback, bad_states.size());
+    EXPECT_EQ(counters.primary, 1u);
+  }
 }
 
 TEST(ControllerServer, ReferencePathTakesNoCounters) {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "sys/cartpole.h"
 #include "sys/threed.h"
@@ -81,6 +82,81 @@ TEST_P(IntervalInclusion, OperationsContainSampledResults) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, IntervalInclusion, ::testing::Range(0, 8));
 
+// --- non-finite edge contract (see the class comment in interval.h) --------
+
+TEST(IntervalEdgeContract, NanEndpointsFailClosed) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (const Interval& broken :
+       {Interval(nan), Interval(nan, 1.0), Interval(-1.0, nan),
+        Interval(nan, nan)}) {
+    EXPECT_FALSE(broken.valid());
+    // A broken interval certifies nothing: no member, no enclosure, no
+    // intersection — in both argument positions.
+    EXPECT_FALSE(broken.contains(0.0));
+    EXPECT_FALSE(broken.contains(Interval(0.0)));
+    EXPECT_FALSE(broken.intersects(Interval(-10.0, 10.0)));
+    EXPECT_FALSE(Interval(-10.0, 10.0).contains(broken));
+    EXPECT_FALSE(Interval(-10.0, 10.0).intersects(broken));
+  }
+  // A NaN query point is never a member of a healthy interval either.
+  EXPECT_FALSE(Interval(-1.0, 1.0).contains(nan));
+}
+
+TEST(IntervalEdgeContract, InfiniteEndpointsAreMeaningful) {
+  // Unbounded safe-region dimensions use ±inf endpoints; the predicates
+  // must keep working there (this is why the accepting-direction
+  // comparisons carry waivers instead of isfinite guards).
+  const double inf = std::numeric_limits<double>::infinity();
+  const Interval half_line(0.0, inf);
+  EXPECT_TRUE(half_line.valid());
+  EXPECT_TRUE(half_line.contains(1e300));
+  EXPECT_TRUE(half_line.contains(Interval(5.0, 1e18)));
+  EXPECT_FALSE(half_line.contains(-1.0));
+  const Interval everything(-inf, inf);
+  EXPECT_TRUE(everything.contains(half_line));
+  EXPECT_TRUE(everything.intersects(Interval(-3.0, -2.0)));
+}
+
+TEST(IntervalEdgeContract, OperationsOnValidInputsNeverShrinkContainment) {
+  // Property: for valid finite operands, each op's enclosure contains the
+  // exact rational-arithmetic endpoints (spot-checked via the operand
+  // endpoints themselves, which every op's image must cover).
+  util::Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double a_lo = rng.uniform(-1e3, 1e3);
+    const Interval a(a_lo, a_lo + rng.uniform(0.0, 10.0));
+    const double b_lo = rng.uniform(-1e3, 1e3);
+    const Interval b(b_lo, b_lo + rng.uniform(0.0, 10.0));
+    EXPECT_TRUE((a + b).contains(a.lo() + b.lo()));
+    EXPECT_TRUE((a + b).contains(a.hi() + b.hi()));
+    EXPECT_TRUE((a - b).contains(a.lo() - b.hi()));
+    EXPECT_TRUE((a * b).contains(a.lo() * b.lo()));
+    EXPECT_TRUE((a * b).contains(a.hi() * b.hi()));
+    EXPECT_TRUE(a.inflate(0.5).contains(a.lo() - 0.5));
+    EXPECT_TRUE(a.inflate(0.5).contains(a.hi() + 0.5));
+    EXPECT_TRUE(a.square().contains(a.lo() * a.lo()));
+  }
+}
+
+TEST(IntervalEdgeContract, NanProducingOperationsFailClosed) {
+  // 0 * inf and inf - inf are NaN; intervals built from them must report
+  // !valid() and certify nothing — never collapse to a tight finite bound.
+  const double inf = std::numeric_limits<double>::infinity();
+  const Interval nan_product = Interval(0.0) * Interval(inf);
+  EXPECT_FALSE(nan_product.valid());
+  EXPECT_FALSE(nan_product.contains(0.0));
+  const Interval nan_difference = Interval(inf) - Interval(inf);
+  EXPECT_FALSE(nan_difference.valid());
+  EXPECT_FALSE(nan_difference.contains(0.0));
+  // An honestly unbounded result stays unbounded, not NaN: [0,inf] - [0,inf]
+  // spans every real difference.
+  const Interval unbounded(0.0, inf);
+  const Interval spread = unbounded - unbounded;
+  EXPECT_TRUE(spread.valid());
+  EXPECT_TRUE(spread.contains(12345.6789));
+  EXPECT_TRUE(spread.contains(-12345.6789));
+}
+
 TEST(IntervalTrig, SinCoversExtremaInsideWindow) {
   // [0, pi] contains the max of sin.
   const Interval s = verify::sin(Interval(0.0, 3.2));
@@ -121,6 +197,20 @@ TEST(BoxUtils, SubdivideTilesTheBox) {
     EXPECT_GE(hits, 1);
     EXPECT_LE(hits, 2);  // boundary points may be shared.
   }
+}
+
+TEST(BoxUtils, SubdivideFacesPinParentEndpointsExactly) {
+  // `lo + parts * w` can round strictly below `hi`, which used to leave an
+  // uncovered sliver at the top face.  slice_face pins the extreme faces to
+  // the exact parent endpoints and shares interior faces bitwise between
+  // adjacent slices, so the union covers the parent with no gaps.
+  const IBox box = verify::make_box({0.1}, {0.9});
+  const auto parts = verify::box_subdivide(box, {7});
+  ASSERT_EQ(parts.size(), 7u);
+  EXPECT_EQ(parts.front()[0].lo(), 0.1);  // exact, not approximate.
+  EXPECT_EQ(parts.back()[0].hi(), 0.9);
+  for (std::size_t k = 0; k + 1 < parts.size(); ++k)
+    EXPECT_EQ(parts[k][0].hi(), parts[k + 1][0].lo());  // shared bitwise.
 }
 
 TEST(BoxUtils, HullContainsBoth) {
