@@ -6,8 +6,9 @@
 // bench_micro is also the repo's TRACKED PERF TIER: it provides its own
 // main(), understands
 //   --smoke       tiny measurement times + only the tracked benchmarks
-//                 (GEMM / forward_batch / distill / PPO update) — the mode
-//                 Release CI runs every PR;
+//                 (GEMM / forward_batch / distill / PPO update /
+//                 certified-lookup / reach fan-out) — the mode Release CI
+//                 runs every PR;
 //   --out=<path>  where to write the JSON trajectory point
 //                 (default BENCH_micro.json in the working directory);
 // and emits one BENCH_micro.json per run: every benchmark's per-iteration
@@ -16,6 +17,8 @@
 // trajectory; a shrinking speedup is a regression with a number attached.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -37,6 +40,7 @@
 #include "rl/ddpg.h"
 #include "rl/env.h"
 #include "rl/ppo.h"
+#include "serve/safety_monitor.h"
 #include "sys/cartpole.h"
 #include "sys/threed.h"
 #include "sys/vanderpol.h"
@@ -326,6 +330,143 @@ void BM_ReachSweep(benchmark::State& state) {
 BENCHMARK(BM_ReachSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
+// --- certified-lookup crossover (tracked) ---------------------------------
+//
+// The serve-path margin check: "is every invariant cell overlapped by the
+// ±margin box a member?"  Flat is the pre-PR-9 odometer over the window
+// volume (kept verbatim below); Sfc is SafetyMonitor's CellSetTree descent.
+// Arg = grid side n — on coarse grids the window holds a handful of cells
+// and the flat walk wins on constant factors; as n grows the window volume
+// grows quadratically while the tree cost tracks the window boundary, and
+// the crossover lands in BENCH_micro.json as certified_lookup_speedup_<n>.
+
+/// Disk-shaped member set on an n x n grid over [-1,1]^2: member iff the
+/// cell center lies within radius 0.8.
+verify::InvariantResult disk_invariant(int n) {
+  verify::InvariantResult result;
+  result.grid = {n, n};
+  result.member.resize(static_cast<std::size_t>(n) *
+                       static_cast<std::size_t>(n));
+  const double w = 2.0 / static_cast<double>(n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) {
+      const double x = -1.0 + (static_cast<double>(i) + 0.5) * w;
+      const double y = -1.0 + (static_cast<double>(j) + 0.5) * w;
+      result.member[static_cast<std::size_t>(j) * n + i] =
+          x * x + y * y <= 0.8 * 0.8 ? 1 : 0;
+    }
+  result.completed = true;
+  return result;
+}
+
+/// Deterministic probe states on a radius-0.5 ring: deep enough inside the
+/// disk that the ±margin window is all-member, i.e. the walk never exits
+/// early — the worst case both paths must pay in full.
+std::vector<la::Vec> lookup_probes() {
+  std::vector<la::Vec> probes;
+  for (int i = 0; i < 64; ++i) {
+    const double a = 2.0 * 3.14159265358979323846 * i / 64.0;
+    probes.push_back({0.5 * std::cos(a), 0.5 * std::sin(a)});
+  }
+  return probes;
+}
+
+constexpr double kLookupMargin = 0.15;
+
+/// The pre-PR-9 SafetyMonitor margin path, kept verbatim as the baseline
+/// the CellSetTree descent is measured against: window quantization plus
+/// the odometer over every overlapped cell.
+bool flat_margin_certified_baseline(const verify::InvariantResult& inv,
+                                    const cocktail::sys::Box& domain,
+                                    double margin, const la::Vec& state) {
+  std::vector<int> lo_k(state.size()), hi_k(state.size());
+  for (std::size_t d = 0; d < state.size(); ++d) {
+    const double lo = state[d] - margin;
+    const double hi = state[d] + margin;
+    if (lo < domain.lo[d] || hi > domain.hi[d]) return false;
+    const double w = (domain.hi[d] - domain.lo[d]) /
+                     static_cast<double>(inv.grid[d]);
+    lo_k[d] = std::clamp(static_cast<int>(std::floor((lo - domain.lo[d]) / w)),
+                         0, inv.grid[d] - 1);
+    hi_k[d] = std::clamp(static_cast<int>(std::floor((hi - domain.lo[d]) / w)),
+                         0, inv.grid[d] - 1);
+  }
+  std::vector<int> k = lo_k;
+  for (;;) {
+    std::size_t index = 0, stride = 1;
+    for (std::size_t d = 0; d < k.size(); ++d) {
+      index += static_cast<std::size_t>(k[d]) * stride;
+      stride *= static_cast<std::size_t>(inv.grid[d]);
+    }
+    if (inv.member[index] == 0) return false;
+    std::size_t d = 0;
+    while (d < k.size() && ++k[d] > hi_k[d]) {
+      k[d] = lo_k[d];
+      ++d;
+    }
+    if (d == k.size()) break;
+  }
+  return true;
+}
+
+void BM_CertifiedLookupFlat(benchmark::State& state) {
+  const auto inv = disk_invariant(static_cast<int>(state.range(0)));
+  const sys::Box domain = sys::Box::symmetric(2, 1.0);
+  const auto probes = lookup_probes();
+  for (auto _ : state)
+    for (const la::Vec& probe : probes)
+      benchmark::DoNotOptimize(
+          flat_margin_certified_baseline(inv, domain, kLookupMargin, probe));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(probes.size()));
+}
+BENCHMARK(BM_CertifiedLookupFlat)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_CertifiedLookupSfc(benchmark::State& state) {
+  const auto monitor = serve::SafetyMonitor::inside_invariant(
+      disk_invariant(static_cast<int>(state.range(0))),
+      sys::Box::symmetric(2, 1.0), kLookupMargin);
+  const auto probes = lookup_probes();
+  for (auto _ : state)
+    for (const la::Vec& probe : probes)
+      benchmark::DoNotOptimize(monitor.certified(probe));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(probes.size()));
+}
+BENCHMARK(BM_CertifiedLookupSfc)->Arg(16)->Arg(64)->Arg(256);
+
+// The single-box serialization hole (tracked): one giant initial box whose
+// ~216 sub-box enclosures are the whole first wave.  Arg 0 = fan-out
+// disabled at 8 workers (the pre-PR-9 schedule: one work item, zero
+// parallelism); Arg k>0 = fan-out enabled at k workers.  Results are
+// bitwise identical across all rows — only the wall-clock moves.
+void BM_ReachFrontierFanout(benchmark::State& state) {
+  auto system = std::make_shared<sys::ThreeD>();
+  const auto lqr = ctrl::LqrController::synthesize(*system, 1.0, 8.0);
+  const auto controller = std::make_shared<ctrl::PolynomialController>(
+      ctrl::PolynomialController::linear_feedback(lqr.gain(), "lin"));
+  verify::ReachConfig config;
+  config.steps = 1;
+  config.abstraction.epsilon_target = 0.08;
+  config.max_box_width = 0.05;
+  config.subbox_fanout = state.range(0) != 0;
+  config.num_workers =
+      state.range(0) != 0 ? static_cast<int>(state.range(0)) : 8;
+  const verify::ReachabilityAnalyzer analyzer(system, *controller, config);
+  const verify::IBox initial =
+      verify::make_box({-0.25, 0.05, -0.05}, {0.05, 0.35, 0.25});
+  for (auto _ : state) {
+    const auto result = analyzer.analyze(initial);
+    if (!result.completed) {
+      state.SkipWithError(result.failure.c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ReachFrontierFanout)->Arg(0)->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
 // Scaling of the PPO minibatch updates with worker count (Arg; 1 = serial).
 // Each iteration of the timed loop is one PPO training iteration — serial
 // on-policy collection plus update_epochs passes of parallel per-sample
@@ -508,6 +649,29 @@ void write_json(const std::vector<TrajectoryRow>& rows, bool smoke,
     first = false;
     out << "\n    \"gemm_speedup_" << n << "\": " << naive / blocked;
   }
+  // Certificate-lookup crossover: SFC-tree speedup over the flat odometer
+  // per grid side (values < 1 on coarse grids, > 1 once the window volume
+  // dominates — the crossover itself is the tracked number).
+  for (const int n : {16, 64, 256}) {
+    const std::string arg = "/" + std::to_string(n);
+    const double flat = find_time(rows, "BM_CertifiedLookupFlat" + arg);
+    const double tree = find_time(rows, "BM_CertifiedLookupSfc" + arg);
+    if (flat <= 0.0 || tree <= 0.0) continue;
+    if (!first) out << ",";
+    first = false;
+    out << "\n    \"certified_lookup_speedup_" << n << "\": " << flat / tree;
+  }
+  // Single-giant-box frontier: fan-out speedup over the serialized
+  // pre-fan-out schedule (Arg 0) at 8 workers.
+  {
+    const double serial = find_time(rows, "BM_ReachFrontierFanout/0/real_time");
+    const double fanned = find_time(rows, "BM_ReachFrontierFanout/8/real_time");
+    if (serial > 0.0 && fanned > 0.0) {
+      if (!first) out << ",";
+      first = false;
+      out << "\n    \"reach_fanout_speedup_8\": " << serial / fanned;
+    }
+  }
   out << (first ? "" : "\n  ") << "}\n}\n";
   std::cout << "bench_micro: wrote perf trajectory point to " << path << "\n";
 }
@@ -537,7 +701,7 @@ int main(int argc, char** argv) {
   std::string min_time = "--benchmark_min_time=0.01";
   std::string filter =
       "--benchmark_filter=BM_Gemm|BM_MlpForwardBatch|BM_DistillSgd/1|"
-      "BM_PpoUpdate/1";
+      "BM_PpoUpdate/1|BM_CertifiedLookup|BM_ReachFrontierFanout";
   if (smoke) {
     args.push_back(min_time.data());
     args.push_back(filter.data());

@@ -41,6 +41,14 @@ SafetyMonitor SafetyMonitor::inside_invariant(verify::InvariantResult result,
   monitor.margin_ = margin;
   monitor.invariant_ =
       std::make_shared<const verify::InvariantResult>(std::move(result));
+  // Key the member set on the space-filling curve when the grid packs into
+  // a 64-bit Morton key; outsized grids keep the flat odometer fallback.
+  // Built once here — the monitor stays immutable after construction, so
+  // concurrent certified() calls share the tree without a lock.
+  if (verify::CellSetTree::supports(monitor.invariant_->grid))
+    monitor.member_tree_ = std::make_shared<const verify::CellSetTree>(
+        verify::CellSetTree::build(monitor.invariant_->grid,
+                                   monitor.invariant_->member));
   return monitor;
 }
 
@@ -85,28 +93,38 @@ bool SafetyMonitor::certified(const la::Vec& state) const {
             static_cast<int>(std::floor((hi - box_.lo[d]) / w)), 0,
             invariant_->grid[d] - 1);
       }
-      // Odometer over the overlapped cell range (dim 0 fastest, matching
-      // InvariantResult's flattened indexing).
-      std::vector<int> k = lo_k;
-      for (;;) {
-        std::size_t index = 0;
-        std::size_t stride = 1;
-        for (std::size_t d = 0; d < k.size(); ++d) {
-          index += static_cast<std::size_t>(k[d]) * stride;
-          stride *= static_cast<std::size_t>(invariant_->grid[d]);
-        }
-        if (invariant_->member[index] == 0) return false;
-        std::size_t d = 0;
-        while (d < k.size() && ++k[d] > hi_k[d]) {
-          k[d] = lo_k[d];
-          ++d;
-        }
-        if (d == k.size()) break;
-      }
-      return true;
+      // Every overlapped cell must be a member: a pruned descent of the
+      // SFC-keyed tree when one was built, the flat odometer otherwise.
+      // The two walks return bitwise-identical verdicts (tested).
+      if (member_tree_) return member_tree_->all_members(lo_k, hi_k);
+      return window_all_members_flat(lo_k, hi_k);
     }
   }
   return false;
+}
+
+// SNDLINT-ALLOW(nan-blind-compare): pure integer cell-coordinate walk — no floating-point inputs reach the flat member odometer.
+bool SafetyMonitor::window_all_members_flat(
+    const std::vector<int>& lo_k, const std::vector<int>& hi_k) const {
+  // Odometer over the overlapped cell range (dim 0 fastest, matching
+  // InvariantResult's flattened indexing).
+  std::vector<int> k = lo_k;
+  for (;;) {
+    std::size_t index = 0;
+    std::size_t stride = 1;
+    for (std::size_t d = 0; d < k.size(); ++d) {
+      index += static_cast<std::size_t>(k[d]) * stride;
+      stride *= static_cast<std::size_t>(invariant_->grid[d]);
+    }
+    if (invariant_->member[index] == 0) return false;
+    std::size_t d = 0;
+    while (d < k.size() && ++k[d] > hi_k[d]) {
+      k[d] = lo_k[d];
+      ++d;
+    }
+    if (d == k.size()) break;
+  }
+  return true;
 }
 
 double SafetyMonitor::action_deviation_bound(const ctrl::Controller& controller,

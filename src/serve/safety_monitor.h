@@ -22,10 +22,12 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "control/controller.h"
 #include "la/vec.h"
 #include "sys/system.h"
+#include "verify/box_tree.h"
 #include "verify/invariant.h"
 
 namespace cocktail::serve {
@@ -67,12 +69,23 @@ class SafetyMonitor {
       const ctrl::Controller& controller, double epsilon_inf);
 
  private:
+  /// Reference window walk over the flattened member array: the odometer
+  /// the SFC tree replaced, kept as the fallback for grids the Morton key
+  /// cannot pack (dim > kMaxSfcDim, or > 63 key bits).
+  [[nodiscard]] bool window_all_members_flat(const std::vector<int>& lo_k,
+                                             const std::vector<int>& hi_k) const;
+
   enum class Mode { kNone, kAll, kBox, kInvariant };
 
   Mode mode_ = Mode::kNone;
   sys::Box box_;  ///< kBox: the certified box; kInvariant: the grid domain.
   double margin_ = 0.0;
   std::shared_ptr<const verify::InvariantResult> invariant_;
+  /// SFC-keyed index over the invariant member set (kInvariant only; null
+  /// when the grid is unsupported).  Margin window checks descend the tree
+  /// — O(window boundary) — instead of the odometer's O(window volume),
+  /// with bitwise-identical verdicts.
+  std::shared_ptr<const verify::CellSetTree> member_tree_;
 };
 
 }  // namespace cocktail::serve

@@ -34,9 +34,22 @@ struct ReachConfig {
   /// fixed-size waves, each box against a private budget capped at the
   /// wave's remaining budget, and per-box results merge in frontier
   /// order (so a run overshoots an exhausted budget by at most one
-  /// wave's concurrent work — the wave schedule is identical for every
-  /// worker count, serial included).
+  /// wave's concurrent work — including fanned-out sub-boxes, see
+  /// `subbox_fanout` — the wave schedule is identical for every worker
+  /// count, serial included).
   int num_workers = 0;
+  /// When a wave holds fewer boxes than the wave size, fan each box's
+  /// *sub-box* enclosures out as independent work items (closing the
+  /// single-box serialization hole: one giant frontier box used to run
+  /// hundreds of enclosures inside a single work item with zero
+  /// parallelism).  The fan-out schedule is a function of box/sub-box
+  /// counts only — never of the worker count — so layers, counters, and
+  /// failures stay bitwise identical across workers; on completing runs
+  /// they also equal the non-fanned schedule's.  An exhausted budget may
+  /// overshoot by the wave's concurrent chunks (the documented wave
+  /// caveat, now including fanned-out sub-boxes).  Disable to reproduce
+  /// the strictly per-box schedule.
+  bool subbox_fanout = true;
 };
 
 struct ReachResult {
@@ -74,6 +87,16 @@ class ReachabilityAnalyzer {
 /// (cell edge ~`resolution`, grid capped at `max_cells` by coarsening) over
 /// their hull and returns the covering cells.  Every input box is contained
 /// in the union of the output cells.
+///
+/// Contract: `resolution` must be finite and > 0, and every box endpoint
+/// finite and valid — otherwise the call throws std::invalid_argument (a
+/// non-finite resolution would divide by zero or spin the coarsening loop;
+/// a corrupted box cannot be soundly paved).  `analyze` converts such
+/// throws into a failed — never crashed — verification.  Cell-count
+/// sizing is overflow-checked: a wide hull over a tiny resolution coarsens
+/// instead of wrapping size_t.  Cells are keyed on the space-filling curve
+/// (verify/sfc.h) and emitted in ascending key order — deterministic, and
+/// invariant under permutations of the input boxes.
 [[nodiscard]] std::vector<IBox> pave_boxes(const std::vector<IBox>& boxes,
                                            double resolution,
                                            std::size_t max_cells = 200000);

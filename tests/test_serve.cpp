@@ -4,6 +4,7 @@
 // routing with exact counters, and cached-artifact loading.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -195,6 +196,103 @@ TEST(SafetyMonitor, IncompleteInvariantIsRejected) {
   EXPECT_THROW((void)serve::SafetyMonitor::inside_invariant(incomplete,
                                                             unit_box()),
                std::invalid_argument);
+}
+
+/// Reference for the invariant margin check: the pre-tree flat odometer
+/// over the member window, verbatim — the SFC-keyed CellSetTree path must
+/// return bitwise-identical verdicts.
+bool flat_margin_certified(const std::vector<int>& grid,
+                           const std::vector<char>& member,
+                           const sys::Box& domain, double margin,
+                           const Vec& state) {
+  for (std::size_t d = 0; d < state.size(); ++d)
+    if (!std::isfinite(state[d])) return false;
+  if (state.size() != domain.dim()) return false;
+  std::vector<int> lo_k(state.size()), hi_k(state.size());
+  for (std::size_t d = 0; d < state.size(); ++d) {
+    const double lo = state[d] - margin;
+    const double hi = state[d] + margin;
+    if (lo < domain.lo[d] || hi > domain.hi[d]) return false;
+    const double w =
+        (domain.hi[d] - domain.lo[d]) / static_cast<double>(grid[d]);
+    lo_k[d] = std::clamp(static_cast<int>(std::floor((lo - domain.lo[d]) / w)),
+                         0, grid[d] - 1);
+    hi_k[d] = std::clamp(static_cast<int>(std::floor((hi - domain.lo[d]) / w)),
+                         0, grid[d] - 1);
+  }
+  std::vector<int> k = lo_k;
+  for (;;) {
+    std::size_t index = 0, stride = 1;
+    for (std::size_t d = 0; d < k.size(); ++d) {
+      index += static_cast<std::size_t>(k[d]) * stride;
+      stride *= static_cast<std::size_t>(grid[d]);
+    }
+    if (member[index] == 0) return false;
+    std::size_t d = 0;
+    while (d < k.size() && ++k[d] > hi_k[d]) {
+      k[d] = lo_k[d];
+      ++d;
+    }
+    if (d == k.size()) break;
+  }
+  return true;
+}
+
+TEST(SafetyMonitor, SfcIndexMatchesFlatOdometerOnRandomizedInvariants) {
+  // The Morton-keyed member index behind the margin path is an index, not a
+  // semantics change: randomized grids, member sets, margins, and states
+  // must certify bitwise-identically to the flat window walk it replaced.
+  util::Rng rng(57);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t dim = 2 + static_cast<std::size_t>(trial % 2);
+    std::vector<int> grid(dim);
+    std::size_t total = 1;
+    for (auto& g : grid) {
+      g = 2 + static_cast<int>(rng.uniform(0.0, 7.0));
+      total *= static_cast<std::size_t>(g);
+    }
+    verify::InvariantResult result;
+    result.grid = grid;
+    result.completed = true;
+    result.member.resize(total);
+    for (auto& m : result.member)
+      m = rng.uniform(0.0, 1.0) < 0.6 ? 1 : 0;
+    const sys::Box domain = sys::Box::symmetric(dim, 1.0);
+    const double margin = rng.uniform(0.05, 0.5);
+    const auto monitor =
+        serve::SafetyMonitor::inside_invariant(result, domain, margin);
+    for (int q = 0; q < 200; ++q) {
+      Vec state(dim);
+      for (auto& x : state) x = rng.uniform(-1.2, 1.2);
+      ASSERT_EQ(monitor.certified(state),
+                flat_margin_certified(grid, result.member, domain, margin,
+                                      state))
+          << "trial " << trial << " query " << q;
+    }
+  }
+}
+
+TEST(SafetyMonitor, OutsizedGridsFallBackToTheFlatWalk) {
+  // A 9-dimensional grid cannot pack into a 64-bit Morton key
+  // (dim > kMaxSfcDim), so the monitor keeps the flat odometer — same
+  // verdicts, no tree.
+  const std::size_t dim = 9;
+  ASSERT_GT(dim, verify::kMaxSfcDim);
+  verify::InvariantResult result;
+  result.grid.assign(dim, 2);
+  result.completed = true;
+  result.member.assign(std::size_t{1} << dim, 1);
+  result.member[0] = 0;  // the all-lo corner cell is not a member.
+  const sys::Box domain = sys::Box::symmetric(dim, 1.0);
+  const auto monitor =
+      serve::SafetyMonitor::inside_invariant(result, domain, 0.1);
+  Vec state(dim, 0.5);
+  EXPECT_TRUE(monitor.certified(state));      // deep in member cells.
+  Vec corner(dim, -0.5);
+  EXPECT_FALSE(monitor.certified(corner));    // overlaps the removed cell.
+  Vec straddle(dim, 0.5);
+  straddle[0] = -0.5;  // still certifies: cell (0,1,...,1) is a member.
+  EXPECT_TRUE(monitor.certified(straddle));
 }
 
 TEST(SafetyMonitor, ActionDeviationBoundUsesTheCertifiedLipschitz) {

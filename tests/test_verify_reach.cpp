@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "control/lqr_controller.h"
 #include "control/nn_controller.h"
@@ -224,6 +225,113 @@ TEST(PaveBoxes, MergesDuplicates) {
   std::vector<IBox> boxes(50, verify::make_box({0.0, 0.0}, {0.05, 0.05}));
   const auto cells = verify::pave_boxes(boxes, 0.1);
   EXPECT_LE(cells.size(), 4u);
+}
+
+TEST(PaveBoxes, ThrowsOnInvalidResolution) {
+  const std::vector<IBox> boxes = {verify::make_box({0.0}, {1.0})};
+  EXPECT_THROW((void)verify::pave_boxes(boxes, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)verify::pave_boxes(boxes, -1.0), std::invalid_argument);
+  EXPECT_THROW(
+      (void)verify::pave_boxes(boxes, std::numeric_limits<double>::quiet_NaN()),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)verify::pave_boxes(boxes, std::numeric_limits<double>::infinity()),
+      std::invalid_argument);
+}
+
+TEST(PaveBoxes, ThrowsOnNonFiniteBoxes) {
+  IBox bad(2);
+  bad[0] = {0.0, std::numeric_limits<double>::quiet_NaN()};
+  bad[1] = {0.0, 1.0};
+  EXPECT_THROW((void)verify::pave_boxes({bad}, 0.1), std::invalid_argument);
+  bad[0] = {0.0, std::numeric_limits<double>::infinity()};
+  EXPECT_THROW((void)verify::pave_boxes({bad}, 0.1), std::invalid_argument);
+}
+
+TEST(PaveBoxes, ExtremeHullDoesNotWrapCellCount) {
+  // Regression: a hull of 2^32 resolution-sized cells per dimension used to
+  // wrap the size_t cell product to zero in 2-D (2^64 ≡ 0), "pass" the cap,
+  // and write through a zero-sized coverage grid.  The sizing must coarsen
+  // instead.
+  const std::vector<IBox> boxes = {
+      verify::make_box({0.0, 0.0}, {4294967296.0, 4294967296.0})};
+  const auto cells = verify::pave_boxes(boxes, 1.0, /*max_cells=*/50000);
+  ASSERT_FALSE(cells.empty());
+  EXPECT_LE(cells.size(), 50000u);
+  // The coarsened paving still covers the hull corners.
+  bool lo_covered = false, hi_covered = false;
+  for (const IBox& cell : cells) {
+    lo_covered = lo_covered || verify::box_contains(cell, {0.0, 0.0});
+    hi_covered = hi_covered ||
+                 verify::box_contains(cell, {4294967296.0, 4294967296.0});
+  }
+  EXPECT_TRUE(lo_covered);
+  EXPECT_TRUE(hi_covered);
+}
+
+TEST(Reach, NanInitialBoxIsNeverSafe) {
+  // Regression for the NaN-blind inside_safe_region: its exclusion-direction
+  // comparisons were all false for NaN, so a corrupted enclosure fell
+  // through as "safe" — the serve-path analogue of the
+  // SafetyMonitor::certified NaN hole.  Fail closed instead.
+  auto system = std::make_shared<sys::VanDerPol>();
+  const ctrl::ZeroController zero(2, 1);
+  verify::ReachConfig config;
+  config.steps = 0;  // the verdict reduces to inside_safe_region(initial).
+  const verify::ReachabilityAnalyzer analyzer(system, zero, config);
+  IBox initial = verify::make_box({0.1, 0.1}, {0.2, 0.2});
+  initial[1] = {std::numeric_limits<double>::quiet_NaN(),
+                std::numeric_limits<double>::quiet_NaN()};
+  const auto result = analyzer.analyze(initial);
+  EXPECT_TRUE(result.completed);
+  EXPECT_FALSE(result.safe) << "NaN enclosure certified as safe";
+}
+
+TEST(Reach, SingleGiantBoxFanoutAgreesAcrossWorkerCounts) {
+  // The single-box serialization hole: one giant frontier box fans its
+  // sub-box enclosures out as independent work items, and the fanned
+  // schedule must stay bitwise identical for any worker count.
+  auto system = std::make_shared<sys::ThreeD>();
+  const auto controller = threed_linear_controller();
+  verify::ReachConfig config;
+  config.steps = 2;
+  config.abstraction.epsilon_target = 0.15;
+  config.max_box_width = 0.06;  // 5^3 = 125 sub-boxes in the first wave.
+  config.num_workers = 1;
+  ASSERT_TRUE(config.subbox_fanout) << "fan-out should be the default";
+  const verify::ReachabilityAnalyzer serial(system, *controller, config);
+  const IBox initial =
+      verify::make_box({-0.25, 0.05, -0.05}, {0.05, 0.35, 0.25});
+  const auto reference = serial.analyze(initial);
+  ASSERT_TRUE(reference.completed) << reference.failure;
+  ASSERT_GT(reference.layers[1].size(), 100u)
+      << "workload too small to exercise the fan-out";
+  for (const int workers : {0, 2, 8}) {
+    config.num_workers = workers;
+    const verify::ReachabilityAnalyzer parallel(system, *controller, config);
+    expect_same_reach(parallel.analyze(initial), reference, workers);
+  }
+}
+
+TEST(Reach, FanoutMatchesPerBoxScheduleWhenCompleting) {
+  // On completing runs the fanned-out schedule is defined to equal the
+  // strictly per-box schedule: same layers, same counters, same verdict.
+  auto system = std::make_shared<sys::ThreeD>();
+  const auto controller = threed_linear_controller();
+  verify::ReachConfig config;
+  config.steps = 2;
+  config.abstraction.epsilon_target = 0.15;
+  config.max_box_width = 0.06;
+  config.num_workers = 2;
+  config.subbox_fanout = false;
+  const verify::ReachabilityAnalyzer per_box(system, *controller, config);
+  const IBox initial =
+      verify::make_box({-0.25, 0.05, -0.05}, {0.05, 0.35, 0.25});
+  const auto reference = per_box.analyze(initial);
+  ASSERT_TRUE(reference.completed) << reference.failure;
+  config.subbox_fanout = true;
+  const verify::ReachabilityAnalyzer fanned(system, *controller, config);
+  expect_same_reach(fanned.analyze(initial), reference, /*workers=*/2);
 }
 
 TEST(Reach, VanDerPolOneStepMatchesIntervalStep) {
