@@ -42,12 +42,18 @@ int main() {
   std::printf("student: %zu parameters, certified Lipschitz %.2f\n",
               student->net().num_parameters(), student->lipschitz_bound());
 
-  // 3. The serving runtime: micro-batches of up to 16 requests, and a
-  //    safety monitor that only certifies states 0.2 inside the safe
-  //    region X — everything else is answered by the LQR fallback.
+  // 3. The serving runtime: two dispatcher threads over two MPMC queue
+  //    shards, micro-batches of up to 16 requests, and a safety monitor
+  //    that only certifies states 0.2 inside the safe region X —
+  //    everything else is answered by the LQR fallback.  shard_capacity
+  //    bounds the queue depth: beyond it, submissions are load-shed with
+  //    RejectedError(kQueueFull) instead of queueing unboundedly.
   serve::ServeConfig config;
   config.max_batch = 16;
   config.max_wait = std::chrono::microseconds(200);
+  config.num_dispatchers = 2;
+  config.num_shards = 2;
+  config.shard_capacity = 1024;
   serve::ControllerServer server(config);
   server.register_controller(
       "vdp", student, lqr,
@@ -80,5 +86,11 @@ int main() {
       static_cast<unsigned long long>(counters.max_batch_rows));
   std::printf("action deviation under ||delta||_inf <= 0.05: at most %.4f\n",
               serve::SafetyMonitor::action_deviation_bound(*student, 0.05));
+
+  // 6. The SLO metrics registry: every server publishes per-controller
+  //    latency histograms (p50/p99/p999) and routing/admission counters
+  //    under serve.<name>.*; snapshot() renders them in name order with
+  //    rates over the window since the previous snapshot.
+  std::printf("\n%s", server.metrics().snapshot().format().c_str());
   return 0;
 }

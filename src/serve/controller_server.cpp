@@ -1,7 +1,7 @@
 #include "serve/controller_server.h"
 
 #include <algorithm>
-#include <stdexcept>
+#include <exception>
 #include <utility>
 
 namespace cocktail::serve {
@@ -19,15 +19,27 @@ void bump_max(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
   }
 }
 
+double elapsed_us(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
 }  // namespace
 
-ControllerServer::ControllerServer(ServeConfig config)
+ControllerServer::ControllerServer(ServeConfig config,
+                                   std::shared_ptr<MetricsRegistry> metrics)
     : config_(config),
-      workers_(config.synchronous ? 1 : config.num_workers) {
+      workers_(config.synchronous ? 1 : config.num_workers),
+      metrics_(metrics != nullptr ? std::move(metrics)
+                                  : std::make_shared<MetricsRegistry>()) {
   if (config_.max_batch == 0) config_.max_batch = 1;
   if (config_.rows_per_chunk == 0) config_.rows_per_chunk = 1;
-  if (!config_.synchronous)
-    dispatcher_ = std::thread([this] { dispatch_loop(); });
+  if (config_.num_shards == 0) config_.num_shards = 1;
+  if (config_.shard_capacity == 0) config_.shard_capacity = 1;
+  config_.num_dispatchers =
+      std::clamp<std::size_t>(config_.num_dispatchers, 1, config_.num_shards);
+  if (config_.idle_wait.count() <= 0)
+    config_.idle_wait = std::chrono::microseconds(100);
 }
 
 ControllerServer::~ControllerServer() { stop(); }
@@ -48,10 +60,43 @@ void ControllerServer::register_controller(
   entry->primary = std::move(primary);
   entry->fallback = std::move(fallback);
   entry->monitor = std::move(monitor);
+  const std::string prefix = "serve." + name;
+  entry->primary_count = metrics_->counter(prefix + ".primary");
+  entry->fallback_count = metrics_->counter(prefix + ".fallback");
+  entry->batch_count = metrics_->counter(prefix + ".batches");
+  entry->latency = metrics_->histogram(prefix + ".latency_us");
+  entry->shards.reserve(config_.num_shards);
+  for (std::size_t s = 0; s < config_.num_shards; ++s) {
+    auto shard = std::make_unique<ShardState>(config_.shard_capacity);
+    const std::string shard_prefix = prefix + ".shard" + std::to_string(s);
+    shard->accepted = metrics_->counter(shard_prefix + ".accepted");
+    shard->shed = metrics_->counter(shard_prefix + ".shed");
+    shard->rejected = metrics_->counter(shard_prefix + ".rejected");
+    entry->shards.push_back(std::move(shard));
+  }
+
   util::MutexLock lock(registry_mutex_);
-  if (!entries_.emplace(name, std::move(entry)).second)
+  if (stopping_.load())
+    throw std::runtime_error(
+        "ControllerServer::register_controller after stop()");
+  const auto [it, inserted] = entries_.emplace(name, std::move(entry));
+  if (!inserted)
     throw std::invalid_argument("ControllerServer: '" + name +
                                 "' is already registered");
+  // Spawn the dispatchers under registry_mutex_ so stop() — which flips
+  // stopping_ and joins under the same lock — either runs before this
+  // registration (we threw above) or after the threads exist and will be
+  // joined.  Dispatchers never take registry_mutex_, so holding it here
+  // cannot deadlock with them.
+  if (!config_.synchronous) {
+    Entry* raw = it->second.get();
+    raw->dispatchers.reserve(config_.num_dispatchers);
+    for (std::size_t d = 0; d < config_.num_dispatchers; ++d)
+      raw->dispatchers.push_back(std::make_unique<DispatcherState>());
+    for (std::size_t d = 0; d < config_.num_dispatchers; ++d)
+      raw->dispatchers[d]->thread =
+          std::thread([this, raw, d] { dispatch_loop(*raw, d); });
+  }
 }
 
 ControllerServer::Entry& ControllerServer::find_entry(
@@ -62,6 +107,20 @@ ControllerServer::Entry& ControllerServer::find_entry(
     throw std::invalid_argument("ControllerServer: unknown controller '" +
                                 name + "'");
   return *it->second;
+}
+
+std::future<la::Vec> ControllerServer::reject(Entry& entry, Request&& request,
+                                              RejectReason reason) {
+  const std::size_t home = static_cast<std::size_t>(entry.next_shard.fetch_add(
+                               1, std::memory_order_relaxed)) %
+                           entry.shards.size();
+  Counter* tally = reason == RejectReason::kQueueFull
+                       ? entry.shards[home]->shed
+                       : entry.shards[home]->rejected;
+  tally->increment();
+  std::future<la::Vec> future = request.result.get_future();
+  request.result.set_exception(std::make_exception_ptr(RejectedError(reason)));
+  return future;
 }
 
 std::future<la::Vec> ControllerServer::submit(const std::string& name,
@@ -78,23 +137,60 @@ std::future<la::Vec> ControllerServer::submit(const std::string& name,
   // never influence it.
   request.to_fallback = !entry.monitor.certified(state);
   request.state = std::move(state);
-  std::future<la::Vec> future = request.result.get_future();
+
   if (config_.synchronous) {
-    {
-      util::MutexLock lock(queue_mutex_);
-      if (stopping_)
-        throw std::runtime_error("ControllerServer::submit after stop");
-    }
+    if (stopping_.load())
+      return reject(entry, std::move(request), RejectReason::kShutdown);
+    request.accepted_at = std::chrono::steady_clock::now();
+    const std::size_t home =
+        static_cast<std::size_t>(entry.next_shard.fetch_add(
+            1, std::memory_order_relaxed)) %
+        entry.shards.size();
+    entry.shards[home]->accepted->increment();
+    std::future<la::Vec> future = request.result.get_future();
     execute_inline(request);
+    entry.latency->record_us(
+        elapsed_us(request.accepted_at, std::chrono::steady_clock::now()));
     return future;
   }
-  {
-    util::MutexLock lock(queue_mutex_);
-    if (stopping_)
-      throw std::runtime_error("ControllerServer::submit after stop");
-    queue_.push_back(std::move(request));
+
+  // Admission gate — see the shutdown-handshake audit in the header.  No
+  // lock is held anywhere in this section.
+  active_submitters_.fetch_add(1);
+  if (stopping_.load()) {
+    active_submitters_.fetch_sub(1);
+    return reject(entry, std::move(request), RejectReason::kShutdown);
   }
-  queue_cv_.notify_all();
+  std::future<la::Vec> future = request.result.get_future();
+  request.accepted_at = std::chrono::steady_clock::now();
+  const std::size_t num_shards = entry.shards.size();
+  const std::size_t home = static_cast<std::size_t>(entry.next_shard.fetch_add(
+                               1, std::memory_order_relaxed)) %
+                           num_shards;
+  // pending_ rises BEFORE the push so the dispatcher's decrement can never
+  // run first and underflow it; backed out below on a shed.
+  pending_.fetch_add(1);
+  std::size_t landed = num_shards;
+  for (std::size_t k = 0; k < num_shards; ++k) {
+    const std::size_t s = (home + k) % num_shards;
+    if (entry.shards[s]->queue.try_push(std::move(request))) {
+      landed = s;
+      break;
+    }
+  }
+  if (landed == num_shards) {
+    // Every ring is full: shed.  The request was never published, so back
+    // out the pending count, leave the gate, and resolve the future here.
+    pending_.fetch_sub(1);
+    active_submitters_.fetch_sub(1);
+    entry.shards[home]->shed->increment();
+    request.result.set_exception(
+        std::make_exception_ptr(RejectedError(RejectReason::kQueueFull)));
+    return future;
+  }
+  entry.shards[landed]->accepted->increment();
+  active_submitters_.fetch_sub(1);
+  entry.dispatchers[landed % entry.dispatchers.size()]->bell.ring();
   return future;
 }
 
@@ -112,21 +208,32 @@ la::Vec ControllerServer::act_reference(const std::string& name,
 ServeCounters ControllerServer::counters(const std::string& name) const {
   const Entry& entry = find_entry(name);
   ServeCounters out;
-  out.primary = entry.primary_count.load(std::memory_order_relaxed);
-  out.fallback = entry.fallback_count.load(std::memory_order_relaxed);
-  out.batches = entry.batch_count.load(std::memory_order_relaxed);
+  out.primary = entry.primary_count->value();
+  out.fallback = entry.fallback_count->value();
+  out.batches = entry.batch_count->value();
   out.max_batch_rows = entry.max_batch_rows.load(std::memory_order_relaxed);
+  out.shards.reserve(entry.shards.size());
+  for (const auto& shard : entry.shards) {
+    AdmissionCounters a;
+    a.accepted = shard->accepted->value();
+    a.shed = shard->shed->value();
+    a.rejected = shard->rejected->value();
+    out.accepted += a.accepted;
+    out.shed += a.shed;
+    out.rejected += a.rejected;
+    out.shards.push_back(a);
+  }
   return out;
 }
 
 void ControllerServer::execute_inline(Request& request) {
   try {
     if (request.to_fallback) {
-      request.entry->fallback_count.fetch_add(1, std::memory_order_relaxed);
+      request.entry->fallback_count->increment();
       request.result.set_value(request.entry->fallback->act(request.state));
     } else {
-      request.entry->primary_count.fetch_add(1, std::memory_order_relaxed);
-      request.entry->batch_count.fetch_add(1, std::memory_order_relaxed);
+      request.entry->primary_count->increment();
+      request.entry->batch_count->increment();
       bump_max(request.entry->max_batch_rows, 1);
       request.result.set_value(request.entry->primary->act(request.state));
     }
@@ -135,128 +242,160 @@ void ControllerServer::execute_inline(Request& request) {
   }
 }
 
-void ControllerServer::execute_slice(std::vector<Request>& slice) {
-  // Partition the drained slice: fallback requests run per sample (a
-  // fallback is an arbitrary Controller with no batch path); certified
-  // requests group per served controller into one GEMM batch each,
-  // preserving arrival order within the group.
+void ControllerServer::execute_slice(Entry& entry,
+                                     std::vector<Request>& slice) {
+  // Partition the slice: fallback requests run per sample (a fallback is an
+  // arbitrary Controller with no batch path); certified requests form one
+  // GEMM batch, preserving arrival order.  All requests in a slice belong
+  // to `entry` — each dispatcher serves exactly one controller.
   std::vector<Request*> fallbacks;
-  std::vector<std::pair<Entry*, std::vector<Request*>>> groups;
-  for (Request& request : slice) {
-    if (request.to_fallback) {
-      fallbacks.push_back(&request);
-      continue;
-    }
-    auto it = std::find_if(groups.begin(), groups.end(), [&](const auto& g) {
-      return g.first == request.entry;
-    });
-    if (it == groups.end()) {
-      groups.emplace_back(request.entry, std::vector<Request*>());
-      it = std::prev(groups.end());
-    }
-    it->second.push_back(&request);
-  }
+  std::vector<Request*> rows;
+  fallbacks.reserve(slice.size());
+  rows.reserve(slice.size());
+  for (Request& request : slice)
+    (request.to_fallback ? fallbacks : rows).push_back(&request);
 
   util::ThreadPool* pool = workers_.pool();
 
-  util::run_chunks(pool, fallbacks.size(), [&](std::size_t i) {
-    Request& request = *fallbacks[i];
-    request.entry->fallback_count.fetch_add(1, std::memory_order_relaxed);
-    try {
-      request.result.set_value(request.entry->fallback->act(request.state));
-    } catch (...) {
-      request.result.set_exception(std::current_exception());
-    }
-  });
+  if (!fallbacks.empty()) {
+    entry.fallback_count->add(fallbacks.size());
+    util::run_chunks(pool, fallbacks.size(), [&](std::size_t i) {
+      Request& request = *fallbacks[i];
+      try {
+        request.result.set_value(entry.fallback->act(request.state));
+      } catch (...) {
+        request.result.set_exception(std::current_exception());
+      }
+    });
+  }
 
-  for (auto& [entry, requests] : groups) {
-    // A group exists only because at least one request was appended to it,
-    // and every chunk below covers a non-empty [lo, hi) — act_batch (and
-    // through it Matrix::from_rows, which rejects empty input) is never
-    // handed an empty slice.
-    entry->primary_count.fetch_add(requests.size(),
-                                   std::memory_order_relaxed);
-    entry->batch_count.fetch_add(1, std::memory_order_relaxed);
-    bump_max(entry->max_batch_rows, requests.size());
+  if (!rows.empty()) {
+    entry.primary_count->add(rows.size());
+    entry.batch_count->increment();
+    bump_max(entry.max_batch_rows, rows.size());
     // Rows are independent and each row is bitwise identical to the scalar
     // path, so slicing the batch across workers cannot change any answer.
+    // Every chunk covers a non-empty [lo, hi) — act_batch (and through it
+    // Matrix::from_rows, which rejects empty input) never sees an empty
+    // slice.
     const std::size_t grain = config_.rows_per_chunk;
-    const std::size_t chunks = (requests.size() + grain - 1) / grain;
-    util::run_chunks(pool, chunks, [&, entry = entry,
-                                    reqs = &requests](std::size_t c) {
+    const std::size_t chunks = (rows.size() + grain - 1) / grain;
+    util::run_chunks(pool, chunks, [&](std::size_t c) {
       const std::size_t lo = c * grain;
-      const std::size_t hi = std::min(reqs->size(), lo + grain);
+      const std::size_t hi = std::min(rows.size(), lo + grain);
       std::vector<la::Vec> states;
       states.reserve(hi - lo);
       // The state is dead once the batch is assembled: move, don't copy.
       for (std::size_t i = lo; i < hi; ++i)
-        states.push_back(std::move((*reqs)[i]->state));
+        states.push_back(std::move(rows[i]->state));
       try {
-        std::vector<la::Vec> actions = entry->primary->act_batch(states);
+        std::vector<la::Vec> actions = entry.primary->act_batch(states);
         for (std::size_t i = lo; i < hi; ++i)
-          (*reqs)[i]->result.set_value(std::move(actions[i - lo]));
+          rows[i]->result.set_value(std::move(actions[i - lo]));
       } catch (...) {
         for (std::size_t i = lo; i < hi; ++i)
-          (*reqs)[i]->result.set_exception(std::current_exception());
+          rows[i]->result.set_exception(std::current_exception());
       }
     });
   }
 }
 
-void ControllerServer::dispatch_loop() {
-  util::MutexLock lock(queue_mutex_);
+void ControllerServer::dispatch_loop(Entry& entry,
+                                     std::size_t dispatcher_index) {
+  const std::size_t num_shards = entry.shards.size();
+  const std::size_t num_dispatchers = entry.dispatchers.size();
+  util::Doorbell& bell = entry.dispatchers[dispatcher_index]->bell;
+
+  // Dispatcher d owns shards {s : s mod D == d}: no two dispatchers ever
+  // pop the same ring, and no lock is shared across dispatchers.
+  const auto owned_nonempty = [&] {
+    for (std::size_t s = dispatcher_index; s < num_shards;
+         s += num_dispatchers)
+      if (!entry.shards[s]->queue.empty()) return true;
+    return false;
+  };
+  // Round-robin one pop per owned shard per lap, until the slice is full or
+  // every owned shard reads empty.
+  const auto drain_owned = [&](std::vector<Request>& slice) {
+    bool popped_any = true;
+    while (slice.size() < config_.max_batch && popped_any) {
+      popped_any = false;
+      for (std::size_t s = dispatcher_index; s < num_shards;
+           s += num_dispatchers) {
+        if (slice.size() >= config_.max_batch) break;
+        Request request;
+        if (entry.shards[s]->queue.try_pop(request)) {
+          slice.push_back(std::move(request));
+          popped_any = true;
+        }
+      }
+    }
+  };
+
+  std::vector<Request> slice;
+  slice.reserve(config_.max_batch);
   for (;;) {
-    queue_cv_.wait(lock, [this]() COCKTAIL_REQUIRES(queue_mutex_) {
-      return stopping_ || !queue_.empty();
-    });
-    if (queue_.empty()) {
-      if (stopping_) return;  // stop() raced a spurious wake; queue drained.
+    slice.clear();
+    drain_owned(slice);
+    if (slice.empty()) {
+      // Exit-check read order matters (shutdown-handshake audit in the
+      // header): stopping_ first, then active_submitters_ == 0, then a
+      // final emptiness sweep that is now exact because all producers are
+      // quiesced and this thread is the sole consumer of its shards.
+      if (stopping_.load() && active_submitters_.load() == 0 &&
+          !owned_nonempty())
+        return;
+      static_cast<void>(bell.wait_for(config_.idle_wait, [&] {
+        return stopping_.load() || owned_nonempty();
+      }));
       continue;
     }
-    if (!stopping_ && config_.max_wait.count() > 0 &&
-        queue_.size() < config_.max_batch) {
-      // Linger briefly: one bounded wait buys a fuller GEMM.  A full batch
-      // or shutdown cuts the wait short.  The predicate result is
-      // deliberately unused: timeout and full batch proceed identically —
-      // drain whatever the queue now holds.
-      static_cast<void>(
-          queue_cv_.wait_for(lock, config_.max_wait,
-                             [this]() COCKTAIL_REQUIRES(queue_mutex_) {
-                               return stopping_ ||
-                                      queue_.size() >= config_.max_batch;
-                             }));
+    if (!stopping_.load() && config_.max_wait.count() > 0 &&
+        slice.size() < config_.max_batch) {
+      // Linger briefly: bounded waits buy a fuller GEMM.  A full batch or
+      // shutdown cuts the linger short; the deadline bounds it.
+      const auto deadline = std::chrono::steady_clock::now() + config_.max_wait;
+      while (slice.size() < config_.max_batch && !stopping_.load()) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) break;
+        const auto nap = std::min<std::chrono::steady_clock::duration>(
+            deadline - now, config_.idle_wait);
+        static_cast<void>(bell.wait_for(nap, [&] {
+          return stopping_.load() || owned_nonempty();
+        }));
+        drain_owned(slice);
+      }
     }
-    std::vector<Request> slice;
-    const std::size_t take = std::min(queue_.size(), config_.max_batch);
-    slice.reserve(take);
-    for (std::size_t i = 0; i < take; ++i) {
-      slice.push_back(std::move(queue_.front()));
-      queue_.pop_front();
-    }
-    ++inflight_;
-    lock.Unlock();  // run the slice without blocking submitters.
-    execute_slice(slice);
-    lock.Lock();
-    --inflight_;
-    if (queue_.empty() && inflight_ == 0) drain_cv_.notify_all();
+    execute_slice(entry, slice);
+    const auto done = std::chrono::steady_clock::now();
+    for (const Request& request : slice)
+      entry.latency->record_us(elapsed_us(request.accepted_at, done));
+    // The futures above are all satisfied; release the pending count and
+    // wake drain() if this was the last outstanding work anywhere.
+    if (pending_.fetch_sub(slice.size()) == slice.size()) drain_bell_.ring();
   }
 }
 
 void ControllerServer::drain() {
   if (config_.synchronous) return;
-  util::MutexLock lock(queue_mutex_);
-  drain_cv_.wait(lock, [this]() COCKTAIL_REQUIRES(queue_mutex_) {
-    return queue_.empty() && inflight_ == 0;
-  });
+  // Timed waits only (Doorbell contract): a wakeup racing the last
+  // decrement costs at most one poll period, never a hang.
+  while (!drain_bell_.wait_for(std::chrono::milliseconds(1),
+                               [&] { return pending_.load() == 0; })) {
+  }
 }
 
 void ControllerServer::stop() {
-  {
-    util::MutexLock lock(queue_mutex_);
-    stopping_ = true;
+  util::MutexLock lock(registry_mutex_);
+  stopping_.store(true);
+  for (auto& [name, entry] : entries_) {
+    for (auto& dispatcher : entry->dispatchers) dispatcher->bell.ring();
   }
-  queue_cv_.notify_all();
-  if (dispatcher_.joinable()) dispatcher_.join();
+  for (auto& [name, entry] : entries_) {
+    for (auto& dispatcher : entry->dispatchers) {
+      if (dispatcher->thread.joinable()) dispatcher->thread.join();
+    }
+  }
 }
 
 }  // namespace cocktail::serve

@@ -1,41 +1,57 @@
-// Controller-serving runtime: micro-batched inference with a
-// certified-safety fallback.
+// Controller-serving runtime: sharded micro-batched inference with a
+// certified-safety fallback, admission control, and SLO metrics.
 //
 // The pipeline's end product κ* is a single small network with a certified
 // Lipschitz bound — ideal for high-throughput serving, since N concurrent
 // requests collapse into one layer-wise GEMM (nn::Mlp::forward_batch).
-// This server accepts concurrent submit() calls, and a dispatcher thread
-// drains the request queue into micro-batches (bounded by `max_batch`,
-// lingering up to `max_wait` for a partial batch to fill) executed on a
-// util::ThreadPool.  Each served controller pairs the network with a
-// SafetyMonitor and a trusted fallback expert: requests whose state leaves
-// the certified region are answered by the fallback instead, and
-// per-controller primary/fallback counters are exposed for metrics.
+// Every registered controller gets its own serving tier:
+//
+//   submit() ── admission gate ──► MPMC shard queues ──► dispatcher threads
+//               (bounded depth,     (serve/mpmc_queue.h,  (one per shard
+//                shed-with-reason)   num_shards rings)     group; micro-batch
+//                                                          + linger, no
+//                                                          global lock)
+//
+// Each controller runs `num_dispatchers` dispatcher threads; dispatcher d
+// owns shards {s : s mod D == d} and forms micro-batches (bounded by
+// `max_batch`, lingering up to `max_wait`) exclusively from its own shards,
+// so batch formation never takes a lock shared with other dispatchers or
+// with submitters.  A request whose home shard ring is full tries the
+// remaining shards once; if every ring is full it is *shed*: the future
+// resolves to a RejectedError(kQueueFull) and the shard's shed counter
+// bumps.  Requests whose state leaves the certified region are answered by
+// the trusted fallback expert (SafetyMonitor routing), and per-controller
+// routing/batch/admission counters plus a fixed-bucket latency histogram
+// are published through a serve::MetricsRegistry.
 //
 // Determinism: batching never changes an answer.  forward_batch rows are
 // bitwise identical to the scalar forward path, so every request receives
 // exactly the action the synchronous path (`synchronous = true`, or
-// act_reference) produces, for ANY batch-size / worker / arrival-order
-// configuration — pinned by test_serve.  Only *which requests share a GEMM*
-// is scheduling-dependent, and that is observable solely through the batch
-// counters.
+// act_reference) produces, for ANY dispatcher / shard / batch-size / worker
+// / arrival-order configuration — pinned by test_serve across the
+// {1,2,4} dispatchers × {1,2,8} shards sweep.  Only *which requests share a
+// GEMM* is scheduling-dependent, and that is observable solely through the
+// batch counters.  Certificate lookups route through SafetyMonitor's
+// verify::outward()-backed, NaN-closed predicates in every mode.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <future>
+#include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
 #include "control/controller.h"
 #include "control/nn_controller.h"
 #include "la/vec.h"
+#include "serve/metrics.h"
+#include "serve/mpmc_queue.h"
 #include "serve/safety_monitor.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
@@ -46,7 +62,7 @@ namespace cocktail::serve {
 struct ServeConfig {
   /// Upper bound on requests drained into one dispatch cycle.
   std::size_t max_batch = 32;
-  /// How long the dispatcher lingers for a partial batch to fill before
+  /// How long a dispatcher lingers for a partial batch to fill before
   /// executing what it has (0 = dispatch whatever is queued immediately).
   std::chrono::microseconds max_wait{200};
   /// util::WorkerScope convention for batch execution: 0 = shared pool,
@@ -54,40 +70,100 @@ struct ServeConfig {
   int num_workers = 1;
   /// Rows per GEMM sub-batch when a primary batch fans across workers.
   std::size_t rows_per_chunk = 16;
+  /// Dispatcher threads per registered controller.  Clamped to
+  /// [1, num_shards]: a dispatcher with no shards would have nothing to do.
+  std::size_t num_dispatchers = 1;
+  /// MPMC submission-queue shards per registered controller.
+  std::size_t num_shards = 1;
+  /// Bounded depth of each shard ring (rounded up to a power of two).
+  /// num_shards * shard_capacity is the admission bound: beyond it,
+  /// submissions are shed with RejectedError(kQueueFull).
+  std::size_t shard_capacity = 1024;
+  /// Idle-dispatcher doorbell timeout: the backstop poll period bounding
+  /// the cost of any theoretically missed wakeup (util::Doorbell).
+  std::chrono::microseconds idle_wait{100};
   /// Synchronous mode: submit() executes inline on the calling thread
-  /// (batch of one, no dispatcher thread) — the deterministic reference
-  /// configuration for tests.
+  /// (batch of one, no dispatcher threads, no queues) — the deterministic
+  /// reference configuration for tests.
   bool synchronous = false;
 };
 
+/// Why an admitted-or-not request's future carries an exception instead of
+/// an action.
+enum class RejectReason {
+  kQueueFull,  ///< load shed: every shard ring was at capacity.
+  kShutdown,   ///< submitted after stop().
+};
+
+/// The exception a rejected request's future throws from get().  The
+/// submit-after-shutdown contract (pinned by test_serve): submit() on a
+/// stopped server returns a future that throws RejectedError(kShutdown) —
+/// it does NOT throw synchronously, so flooding clients need only one error
+/// path.  Programmer errors (unknown controller name, wrong state
+/// dimension) still throw std::invalid_argument synchronously.
+class RejectedError : public std::runtime_error {
+ public:
+  explicit RejectedError(RejectReason reason)
+      : std::runtime_error(reason == RejectReason::kQueueFull
+                               ? "ControllerServer: request shed (all shard "
+                                 "queues full)"
+                               : "ControllerServer: submit after stop()"),
+        reason_(reason) {}
+  [[nodiscard]] RejectReason reason() const noexcept { return reason_; }
+
+ private:
+  RejectReason reason_;
+};
+
+/// Per-shard admission tallies.
+struct AdmissionCounters {
+  std::uint64_t accepted = 0;  ///< enqueued (or executed inline) via this shard.
+  std::uint64_t shed = 0;      ///< load-shed with this shard as home.
+  std::uint64_t rejected = 0;  ///< refused after stop() with this shard as home.
+};
+
 /// Monotonic per-controller serving counters (the metrics surface).
+/// Exactness: accepted + shed + rejected == submit() calls that passed
+/// argument validation, and primary + fallback == accepted — guaranteed
+/// once all submitters returned and their futures resolved (drain()/stop());
+/// mid-flight reads may see per-counter skew.
 struct ServeCounters {
   std::uint64_t primary = 0;   ///< requests answered by the served network.
   std::uint64_t fallback = 0;  ///< requests routed to the fallback expert.
   std::uint64_t batches = 0;   ///< primary micro-batches executed.
   std::uint64_t max_batch_rows = 0;  ///< largest primary batch observed.
+  std::uint64_t accepted = 0;  ///< admitted requests (sum over shards).
+  std::uint64_t shed = 0;      ///< load-shed requests (sum over shards).
+  std::uint64_t rejected = 0;  ///< post-stop() rejections (sum over shards).
+  std::vector<AdmissionCounters> shards;  ///< per-shard breakdown.
 };
 
 class ControllerServer {
  public:
-  explicit ControllerServer(ServeConfig config = {});
+  /// `metrics` is shared so several servers (or the caller's own
+  /// instruments) can publish into one registry; pass nullptr to let the
+  /// server create a private one (reachable via metrics()).
+  explicit ControllerServer(ServeConfig config = {},
+                            std::shared_ptr<MetricsRegistry> metrics = nullptr);
   ~ControllerServer();
 
   ControllerServer(const ControllerServer&) = delete;
   ControllerServer& operator=(const ControllerServer&) = delete;
 
-  /// Registers a served controller under `name`.  `primary` is the batched
-  /// network (κ*), `fallback` the trusted expert answering uncertified
-  /// requests; both are required, their dimensions must agree, and `name`
-  /// must be new.  Registration is allowed while serving.
+  /// Registers a served controller under `name` and starts its dispatcher
+  /// threads.  `primary` is the batched network (κ*), `fallback` the
+  /// trusted expert answering uncertified requests; both are required,
+  /// their dimensions must agree, and `name` must be new.  Registration is
+  /// allowed while serving; throws std::runtime_error after stop().
   void register_controller(const std::string& name,
                            std::shared_ptr<const ctrl::NnController> primary,
                            ctrl::ControllerPtr fallback, SafetyMonitor monitor);
 
-  /// Enqueues one inference request; the future carries the action (or the
-  /// exception the controller threw).  Safe to call from any number of
-  /// threads.  Throws std::invalid_argument for an unknown name or a state
-  /// of the wrong dimension, std::runtime_error after stop().
+  /// Enqueues one inference request; the future carries the action, the
+  /// exception the controller threw, or a RejectedError (load shed /
+  /// post-stop — see RejectedError for the pinned contract).  Safe to call
+  /// from any number of threads.  Throws std::invalid_argument for an
+  /// unknown name or a state of the wrong dimension.
   [[nodiscard]] std::future<la::Vec> submit(const std::string& name,
                                             la::Vec state);
 
@@ -98,27 +174,86 @@ class ControllerServer {
 
   [[nodiscard]] ServeCounters counters(const std::string& name) const;
 
-  /// Blocks until every submitted request has been answered.
+  /// The registry this server publishes serve.<name>.* metrics into.
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return *metrics_; }
+  [[nodiscard]] std::shared_ptr<MetricsRegistry> metrics_ptr() const noexcept {
+    return metrics_;
+  }
+
+  /// Blocks until every admitted request has been answered.
   void drain();
 
-  /// Drains outstanding requests and joins the dispatcher; subsequent
-  /// submit() calls throw.  Idempotent; invoked by the destructor.
+  /// Drains outstanding requests, joins every dispatcher, and rejects
+  /// subsequent submissions (RejectedError(kShutdown) futures).  Idempotent;
+  /// invoked by the destructor.
   void stop();
 
  private:
-  // Memory orders (audited for the TSan CI entry): the four counters are
-  // monotonic metrics — each is internally consistent on its own, nothing
-  // is ever published *through* them, and no control flow reads one and
-  // then touches other shared state on the strength of that read.  Every
-  // access therefore uses std::memory_order_relaxed: the atomicity is what
-  // prevents lost increments and torn reads; ordering against the request
-  // payloads is provided by the queue_mutex_ hand-off (submit -> dispatcher)
-  // and by the promise/future hand-off (dispatcher -> waiter), both of
-  // which are full synchronization points.  counters() may observe a
-  // mid-batch snapshot (e.g. primary already bumped, batches not yet) —
-  // exact totals are only guaranteed once the requests' futures resolved
-  // (drain()/stop()), which test_serve and the stress suite pin.
+  // ---- Memory-order audit (for the TSan CI entry) -------------------------
   //
+  // Counters/histograms: relaxed monotonic metrics — see serve/metrics.h.
+  // max_batch_rows is the same class of standalone metric (relaxed CAS max).
+  //
+  // Shard rings: serve/mpmc_queue.h documents the acquire/release payload
+  // hand-off at its declaration.
+  //
+  // Shutdown handshake (the "shutdown-handshake audit" mpmc_queue.h points
+  // at) — three seq_cst atomics form a Dekker-style gate with NO lock held
+  // on the submit fast path:
+  //
+  //   stopping_            stop() store-true (seq_cst) before ringing and
+  //                        joining dispatchers.
+  //   active_submitters_   submit() increments (seq_cst RMW), THEN checks
+  //                        stopping_: if set it backs out and rejects; if
+  //                        clear it pushes and decrements (seq_cst RMW).
+  //   A dispatcher exits only when stopping_ && active_submitters_ == 0 &&
+  //   its shards are empty, in that read order.  Reading 0 from the seq_cst
+  //   decrement synchronizes-with it, so every counted submitter's push
+  //   happens-before the final emptiness check — a request is either
+  //   observed by the exit check or its submitter saw stopping_ and
+  //   rejected.  No admitted request is ever stranded.  (Seq_cst on both
+  //   sides is what closes the store/load race the classic Dekker pattern
+  //   needs; acquire/release alone would not.)
+  //
+  //   pending_             admitted-but-unanswered request count, seq_cst.
+  //                        Incremented by the submitter BEFORE try_push (so
+  //                        a dispatcher finishing the request first can
+  //                        never underflow it), decremented by the
+  //                        dispatcher after the futures are satisfied, and
+  //                        backed out by the submitter on a shed.  drain()
+  //                        waits on pending_ == 0 via drain_bell_.
+  //
+  // Doorbells: util::Doorbell documents its own contract; all dispatcher
+  // waits are timed by config_.idle_wait, so no lost wakeup can hang.
+  // -------------------------------------------------------------------------
+
+  struct Entry;
+
+  struct Request {
+    Entry* entry = nullptr;
+    la::Vec state;
+    bool to_fallback = false;
+    std::promise<la::Vec> result;
+    std::chrono::steady_clock::time_point accepted_at{};
+  };
+
+  /// One MPMC ring plus its admission tallies.  The Counter pointers alias
+  /// MetricsRegistry entries (stable for the registry's lifetime) so the
+  /// per-shard counters ARE the published metrics — one increment, no
+  /// double bookkeeping.
+  struct ShardState {
+    explicit ShardState(std::size_t capacity) : queue(capacity) {}
+    MpmcQueue<Request> queue;
+    Counter* accepted = nullptr;
+    Counter* shed = nullptr;
+    Counter* rejected = nullptr;
+  };
+
+  struct DispatcherState {
+    util::Doorbell bell;
+    std::thread thread;
+  };
+
   // The controller fields (primary/fallback/monitor) are immutable after
   // register_controller publishes the Entry under registry_mutex_; entries
   // are never erased and unique_ptr gives them a stable address, so
@@ -127,54 +262,44 @@ class ControllerServer {
     std::shared_ptr<const ctrl::NnController> primary;
     ctrl::ControllerPtr fallback;
     SafetyMonitor monitor;
-    std::atomic<std::uint64_t> primary_count{0};
-    std::atomic<std::uint64_t> fallback_count{0};
-    std::atomic<std::uint64_t> batch_count{0};
+    std::vector<std::unique_ptr<ShardState>> shards;
+    std::vector<std::unique_ptr<DispatcherState>> dispatchers;
+    // Round-robin home-shard cursor; relaxed — it only spreads load, and no
+    // correctness property depends on its ordering.
+    std::atomic<std::uint64_t> next_shard{0};
+    Counter* primary_count = nullptr;   // registry-backed (relaxed monotonic)
+    Counter* fallback_count = nullptr;
+    Counter* batch_count = nullptr;
     std::atomic<std::uint64_t> max_batch_rows{0};
-  };
-
-  struct Request {
-    Entry* entry = nullptr;
-    la::Vec state;
-    bool to_fallback = false;
-    std::promise<la::Vec> result;
+    LatencyHistogram* latency = nullptr;
   };
 
   [[nodiscard]] Entry& find_entry(const std::string& name) const
       COCKTAIL_EXCLUDES(registry_mutex_);
+  [[nodiscard]] std::future<la::Vec> reject(Entry& entry, Request&& request,
+                                            RejectReason reason);
   void execute_inline(Request& request);
-  void execute_slice(std::vector<Request>& slice);
-  void dispatch_loop() COCKTAIL_EXCLUDES(queue_mutex_);
+  void execute_slice(Entry& entry, std::vector<Request>& slice);
+  void dispatch_loop(Entry& entry, std::size_t dispatcher_index);
 
   ServeConfig config_;
   util::WorkerScope workers_;
+  std::shared_ptr<MetricsRegistry> metrics_;
 
-  // Two independent locks, never held together: registry_mutex_ covers the
-  // name -> Entry map (lookups release it before any inference runs),
-  // queue_mutex_ covers the request queue and the dispatcher lifecycle.
-  // ACQUIRED_BEFORE pins that independence: were a future change to nest
-  // them the other way, the analysis reports the inversion.
-  mutable util::Mutex registry_mutex_
-      COCKTAIL_ACQUIRED_BEFORE(queue_mutex_);
-  std::unordered_map<std::string, std::unique_ptr<Entry>> entries_
+  // registry_mutex_ covers the name -> Entry map and the dispatcher
+  // lifecycle (register spawns and stop() joins under it).  The submit fast
+  // path holds NO lock between the active_submitters_ increment and
+  // decrement, so stop() joining under the lock cannot deadlock with
+  // submitters.
+  mutable util::Mutex registry_mutex_;
+  std::map<std::string, std::unique_ptr<Entry>> entries_
       COCKTAIL_GUARDED_BY(registry_mutex_);
 
-  // Shutdown/drain handshake (audited for the TSan CI entry): submit()
-  // enqueues under queue_mutex_ only while !stopping_; stop() flips
-  // stopping_ under the lock, wakes the dispatcher, and joins it.  The
-  // dispatcher keeps executing drained slices until the queue is empty AND
-  // stopping_ holds, so every accepted request is answered before the join
-  // returns — there is no window in which a request is accepted but never
-  // executed.  inflight_ counts slices released from the queue but still
-  // executing; drain() waits on (queue empty && inflight_ == 0) via
-  // drain_cv_, which the dispatcher signals while holding queue_mutex_.
-  util::Mutex queue_mutex_;
-  util::CondVar queue_cv_;
-  util::CondVar drain_cv_;
-  std::deque<Request> queue_ COCKTAIL_GUARDED_BY(queue_mutex_);
-  std::size_t inflight_ COCKTAIL_GUARDED_BY(queue_mutex_) = 0;
-  bool stopping_ COCKTAIL_GUARDED_BY(queue_mutex_) = false;
-  std::thread dispatcher_;
+  // Shutdown/drain gate — see the memory-order audit above.
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> active_submitters_{0};
+  std::atomic<std::uint64_t> pending_{0};
+  util::Doorbell drain_bell_;
 };
 
 }  // namespace cocktail::serve

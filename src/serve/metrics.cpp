@@ -1,0 +1,155 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+namespace cocktail::serve {
+namespace {
+
+// 1-2-5 decade series, 1 µs .. 1e7 µs (10 s).  kNumBounds entries.
+constexpr double kBounds[LatencyHistogram::kNumBounds] = {
+    1.0,    2.0,    5.0,    10.0,    20.0,    50.0,    100.0,   200.0,
+    500.0,  1.0e3,  2.0e3,  5.0e3,   1.0e4,   2.0e4,   5.0e4,   1.0e5,
+    2.0e5,  5.0e5,  1.0e6,  2.0e6,   5.0e6,   1.0e7};
+
+// Quantile estimate at cumulative rank `rank` (1-based) given per-bucket
+// tallies: locate the bucket holding that rank and interpolate linearly
+// between its bounds.  The overflow bucket reports its lower bound (there
+// is no upper bound to interpolate toward).
+double quantile_at(const std::uint64_t* tallies, std::uint64_t rank) {
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b <= LatencyHistogram::kNumBounds; ++b) {
+    const std::uint64_t in_bucket = tallies[b];
+    if (rank <= cumulative + in_bucket && in_bucket > 0) {
+      if (b == LatencyHistogram::kNumBounds) return kBounds[b - 1];
+      const double lo = b == 0 ? 0.0 : kBounds[b - 1];
+      const double hi = kBounds[b];
+      const double frac =
+          static_cast<double>(rank - cumulative) / static_cast<double>(in_bucket);
+      return lo + frac * (hi - lo);
+    }
+    cumulative += in_bucket;
+  }
+  return cumulative == 0 ? 0.0 : kBounds[LatencyHistogram::kNumBounds - 1];
+}
+
+}  // namespace
+
+const double* LatencyHistogram::bounds() noexcept { return kBounds; }
+
+void LatencyHistogram::record_us(double us) noexcept {
+  std::size_t bucket = 0;
+  if (std::isfinite(us) && us > 0.0) {
+    const double* end = kBounds + kNumBounds;
+    bucket = static_cast<std::size_t>(std::upper_bound(kBounds, end, us) -
+                                      kBounds);
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+LatencyHistogram::Quantiles LatencyHistogram::quantiles() const noexcept {
+  std::uint64_t tallies[kNumBounds + 1];
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b <= kNumBounds; ++b) {
+    tallies[b] = buckets_[b].load(std::memory_order_relaxed);
+    total += tallies[b];
+  }
+  Quantiles q;
+  q.count = total;
+  if (total == 0) return q;
+  // rank(p) = ceil(p * total), clamped to [1, total].
+  const auto rank = [total](double p) {
+    const auto r = static_cast<std::uint64_t>(
+        std::ceil(p * static_cast<double>(total)));
+    return std::max<std::uint64_t>(1, std::min(r, total));
+  };
+  q.p50_us = quantile_at(tallies, rank(0.50));
+  q.p99_us = quantile_at(tallies, rank(0.99));
+  q.p999_us = quantile_at(tallies, rank(0.999));
+  for (std::size_t b = kNumBounds + 1; b-- > 0;) {
+    if (tallies[b] > 0) {
+      q.max_bound_us = b == kNumBounds ? kBounds[kNumBounds - 1] : kBounds[b];
+      break;
+    }
+  }
+  return q;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  util::MutexLock lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+LatencyHistogram* MetricsRegistry::histogram(const std::string& name) {
+  util::MutexLock lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() {
+  util::MutexLock lock(mutex_);
+  const auto now = std::chrono::steady_clock::now();
+  const double window_s =
+      std::chrono::duration<double>(now - last_snapshot_).count();
+  last_snapshot_ = now;
+  const double safe_window = window_s > 0.0 ? window_s : 1.0;
+
+  MetricsSnapshot snap;
+  snap.window_s = window_s;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    const std::uint64_t value = counter->value();
+    const std::uint64_t prev = last_counts_[name];
+    last_counts_[name] = value;
+    snap.counters.push_back(
+        {name, value, static_cast<double>(value - prev) / safe_window});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    MetricsSnapshot::HistogramSample sample;
+    sample.name = name;
+    sample.q = hist->quantiles();
+    const std::uint64_t prev = last_histogram_counts_[name];
+    last_histogram_counts_[name] = sample.q.count;
+    sample.rate_per_s =
+        static_cast<double>(sample.q.count - prev) / safe_window;
+    snap.histograms.push_back(std::move(sample));
+  }
+  return snap;
+}
+
+std::string MetricsSnapshot::format() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "metrics snapshot (window %.3fs)\n",
+                window_s);
+  out += line;
+  for (const auto& h : histograms) {
+    std::snprintf(line, sizeof(line),
+                  "  %-40s count=%llu rate=%.1f/s p50=%.1fus p99=%.1fus "
+                  "p999=%.1fus\n",
+                  h.name.c_str(), static_cast<unsigned long long>(h.q.count),
+                  h.rate_per_s, h.q.p50_us, h.q.p99_us, h.q.p999_us);
+    out += line;
+  }
+  for (const auto& c : counters) {
+    std::snprintf(line, sizeof(line), "  %-40s value=%llu rate=%.1f/s\n",
+                  c.name.c_str(), static_cast<unsigned long long>(c.value),
+                  c.rate_per_s);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace cocktail::serve

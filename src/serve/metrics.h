@@ -1,0 +1,161 @@
+// SLO metrics for the serving tier: counters, fixed-bucket latency
+// histograms (p50/p99/p999), and a named registry with QPS snapshots.
+//
+// Producers on the hot path (submitters, dispatchers, SafetyMonitor routing)
+// touch exactly one relaxed atomic per event; all aggregation happens at
+// snapshot time on the reader.  Memory-order contract (PR 7 policy —
+// documented at the declaration because these are not lockable):
+//
+//   Counter::count_ and LatencyHistogram::buckets_[i] are monotonic event
+//   tallies incremented with std::memory_order_relaxed.  No reader makes a
+//   control decision that requires ordering against other memory: snapshots
+//   are statistical, and the exact-counter guarantees in ControllerServer
+//   (accept + shed + reject == submitted) are established by its own
+//   shutdown handshake quiescing all writers before the final read, at
+//   which point relaxed reads are exact.  Relaxed RMW never loses
+//   increments — it only leaves cross-counter skew in mid-flight snapshots.
+//
+// Registry names are stable for the life of the registry (entries are never
+// erased), so the Counter* / LatencyHistogram* returned by the lookup
+// methods stay valid and lock-free to use after the one-time registration.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace cocktail::serve {
+
+/// Monotonic event counter.  add()/increment() are wait-free; value() is a
+/// relaxed read (exact once writers are quiesced — see the file header).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void increment() noexcept { count_.fetch_add(1, std::memory_order_relaxed); }
+  void add(std::uint64_t n) noexcept {
+    count_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// Fixed-bucket latency histogram over microseconds.
+///
+/// Bucket upper bounds follow the 1-2-5 decade series from 1 µs to 1e7 µs
+/// (10 s), plus an overflow bucket — fixed at compile time so recording is
+/// one binary search over 22 doubles plus one relaxed increment, with no
+/// allocation and no lock.  Quantiles are estimated by linear interpolation
+/// inside the winning bucket, which bounds the relative error by the 1-2-5
+/// spacing (worst case ~2.5x within a bucket, far tighter than the
+/// cross-decade spread SLO monitoring cares about).
+class LatencyHistogram {
+ public:
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Records one sample.  Negative / NaN inputs clamp into the first
+  /// bucket: a corrupt timestamp must never vanish from the count, or the
+  /// exact-counter invariants downstream would see fewer samples than
+  /// requests.
+  void record_us(double us) noexcept;
+
+  struct Quantiles {
+    std::uint64_t count = 0;
+    double p50_us = 0.0;
+    double p99_us = 0.0;
+    double p999_us = 0.0;
+    double max_bound_us = 0.0;  // upper bound of the highest non-empty bucket
+  };
+
+  /// Aggregates the current tallies.  Statistical under concurrent
+  /// recording; exact once recorders are quiesced.
+  [[nodiscard]] Quantiles quantiles() const noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept;
+
+  static constexpr std::size_t kNumBounds = 22;
+  /// Bucket upper bounds in µs (1-2-5 series); bucket kNumBounds is
+  /// overflow.
+  [[nodiscard]] static const double* bounds() noexcept;
+
+ private:
+  // One tally per bound plus the overflow bucket; relaxed monotonic (see
+  // the file-header memory-order contract).
+  std::atomic<std::uint64_t> buckets_[kNumBounds + 1] = {};
+};
+
+/// One registry entry rendered by MetricsRegistry::snapshot().
+struct MetricsSnapshot {
+  struct CounterSample {
+    std::string name;
+    std::uint64_t value = 0;     // cumulative
+    double rate_per_s = 0.0;     // delta since the previous snapshot / window
+  };
+  struct HistogramSample {
+    std::string name;
+    LatencyHistogram::Quantiles q;
+    double rate_per_s = 0.0;     // sample (request) rate over the window
+  };
+  double window_s = 0.0;  // wall-clock span since the previous snapshot
+  std::vector<CounterSample> counters;
+  std::vector<HistogramSample> histograms;
+
+  /// Human-readable multi-line rendering (examples/serve_controller).
+  [[nodiscard]] std::string format() const;
+};
+
+/// Named registry of counters and latency histograms.
+///
+/// Registration (the by-name lookups) takes a mutex; the returned pointers
+/// are stable for the registry's lifetime and lock-free to record through.
+/// snapshot() iterates a std::map, so rendering order is the name order —
+/// deterministic output for logs and tests.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates the named counter.  The pointer never dangles.
+  [[nodiscard]] Counter* counter(const std::string& name);
+
+  /// Finds or creates the named histogram.  The pointer never dangles.
+  [[nodiscard]] LatencyHistogram* histogram(const std::string& name);
+
+  /// Renders every metric with rates over the window since the previous
+  /// snapshot() call (the first call reports rates over the registry's
+  /// lifetime).  Mutating: advances the rate window.
+  [[nodiscard]] MetricsSnapshot snapshot();
+
+ private:
+  util::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      COCKTAIL_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_
+      COCKTAIL_GUARDED_BY(mutex_);
+  // Previous-snapshot baselines for rate computation, keyed like the maps.
+  std::map<std::string, std::uint64_t> last_counts_
+      COCKTAIL_GUARDED_BY(mutex_);
+  std::map<std::string, std::uint64_t> last_histogram_counts_
+      COCKTAIL_GUARDED_BY(mutex_);
+  std::chrono::steady_clock::time_point last_snapshot_
+      COCKTAIL_GUARDED_BY(mutex_) = std::chrono::steady_clock::now();
+};
+
+}  // namespace cocktail::serve

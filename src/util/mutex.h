@@ -13,11 +13,14 @@
 // unlock-run-relock pattern, and CondVar is a condition variable that waits
 // on a Mutex directly (std::condition_variable_any accepts any
 // BasicLockable, so no unannotated std::unique_lock has to appear at the
-// wait sites).
+// wait sites).  Doorbell composes Mutex + CondVar with an atomic sleeper
+// count into the wakeup primitive the sharded serving dispatchers sleep on.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
 #include "util/thread_annotations.h"
@@ -125,6 +128,65 @@ class CondVar {
 
  private:
   std::condition_variable_any cv_;
+};
+
+/// Wakeup doorbell for threads that poll lock-free state.
+///
+/// The sharded serving dispatchers pop from lock-free MPMC shards, so there
+/// is no queue mutex whose condition variable producers could signal.
+/// Doorbell fills that gap: a consumer that finds its shards empty sleeps in
+/// `wait_for`, and a producer `ring()`s after publishing work.
+///
+/// Memory-order contract (documented here per the PR 7 policy):
+///
+///   sleepers_ is seq_cst on both sides.  The producer publishes its work
+///   (itself a release/acquire edge in the MPMC queue), then reads
+///   sleepers_; the consumer increments sleepers_ *before* re-checking the
+///   predicate and sleeping.  With both accesses seq_cst, at least one of
+///   the two races resolves safely: either the producer sees sleepers_ > 0
+///   and notifies under the mutex, or the consumer's predicate re-check
+///   sees the new work.  The mutex around notify/wait closes the classic
+///   lost-wakeup window between the predicate check and the sleep.
+///
+/// Even so, all waits are *timed*: a wakeup missed through any path not
+/// covered above costs one `timeout` period, never a hang.  ring() is
+/// wait-free for the producer when nobody sleeps (one atomic load).
+class Doorbell {
+ public:
+  Doorbell() = default;
+  Doorbell(const Doorbell&) = delete;
+  Doorbell& operator=(const Doorbell&) = delete;
+
+  /// Producer side: call after the new work is visible.  Cheap when no
+  /// consumer is sleeping.
+  void ring() {
+    if (sleepers_.load() == 0) return;
+    // Taking the mutex orders this notify after a racing consumer's
+    // predicate-check-then-wait, so the notify cannot fall in the gap.
+    MutexLock lock(mutex_);
+    cv_.notify_all();
+  }
+
+  /// Consumer side: blocks until `pred()` holds, a ring arrives and
+  /// `pred()` holds, or `timeout` elapses.  Returns the final `pred()`.
+  /// `pred` must read only state safe to read under this doorbell's mutex
+  /// (atomics / lock-free structures).
+  template <class Rep, class Period, class Predicate>
+  [[nodiscard]] bool wait_for(const std::chrono::duration<Rep, Period>& timeout,
+                              Predicate pred) {
+    sleepers_.fetch_add(1);
+    MutexLock lock(mutex_);
+    const bool satisfied = cv_.wait_for(lock, timeout, pred);
+    lock.Unlock();
+    sleepers_.fetch_sub(1);
+    return satisfied;
+  }
+
+ private:
+  // Count of consumers inside wait_for; seq_cst (see the contract above).
+  std::atomic<std::uint32_t> sleepers_{0};
+  Mutex mutex_;
+  CondVar cv_;
 };
 
 }  // namespace cocktail::util

@@ -1,12 +1,16 @@
 // Tests for the serving runtime (src/serve): SafetyMonitor region
-// semantics, micro-batched dispatch bitwise-matching the synchronous
-// reference path across batch-size/worker/linger configurations, fallback
-// routing with exact counters, and cached-artifact loading.
+// semantics, sharded micro-batched dispatch bitwise-matching the synchronous
+// reference path across dispatcher/shard/batch-size/worker/linger
+// configurations, fallback routing and admission control with exact
+// counters, the pinned submit-after-shutdown contract, the SLO metrics
+// registry, and cached-artifact loading.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <future>
 #include <limits>
@@ -421,10 +425,12 @@ TEST(ControllerServer, ControllerExceptionsTravelThroughTheFuture) {
 
 // --- ControllerServer: asynchronous micro-batching -------------------------
 
-/// The acceptance pin: N concurrent submissions across any batch-size /
-/// worker / linger configuration return exactly the actions the synchronous
-/// path produces, and out-of-invariant states are verifiably answered by
-/// the fallback.
+/// The acceptance pin: N concurrent submissions across the full
+/// {1,2,4} dispatchers × {1,2,8} shards grid — crossed with batch-size /
+/// worker / linger settings — return exactly the actions the synchronous
+/// path produces, out-of-invariant states are verifiably answered by the
+/// fallback, and the admission counters are exact (everything accepted,
+/// nothing shed or rejected, per-shard tallies summing to the totals).
 TEST(ControllerServer, AsyncMatchesSynchronousForAnyConfiguration) {
   if (la::kernels::blas_enabled())
     GTEST_SKIP() << "COCKTAIL_BLAS waives the bitwise batching contract";
@@ -450,53 +456,76 @@ TEST(ControllerServer, AsyncMatchesSynchronousForAnyConfiguration) {
   expected.reserve(states.size());
   for (const Vec& s : states) expected.push_back(reference.act_reference("vdp", s));
 
-  struct Sweep {
+  struct BatchSweep {
     std::size_t max_batch;
     int num_workers;
     long linger_us;
   };
-  const std::vector<Sweep> sweeps = {
-      {1, 1, 0}, {4, 2, 200}, {64, 1, 0}, {64, 8, 200}, {16, 0, 50}};
-  for (const Sweep& sweep : sweeps) {
-    serve::ServeConfig config;
-    config.max_batch = sweep.max_batch;
-    config.num_workers = sweep.num_workers;
-    config.max_wait = std::chrono::microseconds(sweep.linger_us);
-    config.rows_per_chunk = 8;
-    serve::ControllerServer server(config);
-    server.register_controller(
-        "vdp", student, std::make_shared<MarkerController>(2, 1), monitor);
+  const std::vector<BatchSweep> batch_sweeps = {
+      {1, 1, 0}, {4, 2, 200}, {64, 8, 200}, {16, 0, 50}};
+  const std::size_t dispatcher_sweep[] = {1, 2, 4};
+  const std::size_t shard_sweep[] = {1, 2, 8};
+  std::size_t combo = 0;
+  for (const std::size_t dispatchers : dispatcher_sweep) {
+    for (const std::size_t shards : shard_sweep) {
+      // Cycle the batch settings through the dispatcher x shard grid so the
+      // full cross stays cheap while every batch shape still meets every
+      // sharding shape over the sweep.
+      const BatchSweep& sweep = batch_sweeps[combo++ % batch_sweeps.size()];
+      serve::ServeConfig config;
+      config.max_batch = sweep.max_batch;
+      config.num_workers = sweep.num_workers;
+      config.max_wait = std::chrono::microseconds(sweep.linger_us);
+      config.rows_per_chunk = 8;
+      config.num_dispatchers = dispatchers;
+      config.num_shards = shards;
+      config.shard_capacity = 256;  // >> request count: nothing sheds.
+      serve::ControllerServer server(config);
+      server.register_controller(
+          "vdp", student, std::make_shared<MarkerController>(2, 1), monitor);
 
-    // Four submitter threads interleave their requests arbitrarily.
-    std::vector<std::future<Vec>> futures(states.size());
-    std::vector<std::thread> submitters;
-    const std::size_t stripe = states.size() / 4;
-    for (std::size_t t = 0; t < 4; ++t) {
-      submitters.emplace_back([&, t] {
-        const std::size_t lo = t * stripe;
-        const std::size_t hi = (t == 3) ? states.size() : lo + stripe;
-        for (std::size_t i = lo; i < hi; ++i)
-          futures[i] = server.submit("vdp", states[i]);
-      });
+      // Four submitter threads interleave their requests arbitrarily.
+      std::vector<std::future<Vec>> futures(states.size());
+      std::vector<std::thread> submitters;
+      const std::size_t stripe = states.size() / 4;
+      for (std::size_t t = 0; t < 4; ++t) {
+        submitters.emplace_back([&, t] {
+          const std::size_t lo = t * stripe;
+          const std::size_t hi = (t == 3) ? states.size() : lo + stripe;
+          for (std::size_t i = lo; i < hi; ++i)
+            futures[i] = server.submit("vdp", states[i]);
+        });
+      }
+      for (auto& thread : submitters) thread.join();
+
+      for (std::size_t i = 0; i < states.size(); ++i) {
+        const Vec action = futures[i].get();
+        ASSERT_EQ(action.size(), expected[i].size());
+        for (std::size_t c = 0; c < action.size(); ++c)
+          ASSERT_EQ(action[c], expected[i][c])
+              << "state " << i << ", max_batch " << sweep.max_batch << ", "
+              << sweep.num_workers << " workers, " << dispatchers
+              << " dispatchers, " << shards << " shards";
+      }
+
+      // Counters are exact for any batching/sharding: every request took
+      // exactly one of the two paths, everything was admitted, and the
+      // per-shard admission tallies sum to the totals.
+      const auto counters = server.counters("vdp");
+      EXPECT_EQ(counters.fallback, expected_fallback);
+      EXPECT_EQ(counters.primary, states.size() - expected_fallback);
+      EXPECT_GE(counters.batches, 1u);
+      EXPECT_LE(counters.max_batch_rows, sweep.max_batch);
+      EXPECT_EQ(counters.accepted, states.size());
+      EXPECT_EQ(counters.shed, 0u);
+      EXPECT_EQ(counters.rejected, 0u);
+      EXPECT_EQ(counters.primary + counters.fallback, counters.accepted);
+      ASSERT_EQ(counters.shards.size(), shards);
+      std::uint64_t per_shard_accepted = 0;
+      for (const auto& shard : counters.shards)
+        per_shard_accepted += shard.accepted;
+      EXPECT_EQ(per_shard_accepted, counters.accepted);
     }
-    for (auto& thread : submitters) thread.join();
-
-    for (std::size_t i = 0; i < states.size(); ++i) {
-      const Vec action = futures[i].get();
-      ASSERT_EQ(action.size(), expected[i].size());
-      for (std::size_t c = 0; c < action.size(); ++c)
-        ASSERT_EQ(action[c], expected[i][c])
-            << "state " << i << ", max_batch " << sweep.max_batch << ", "
-            << sweep.num_workers << " workers";
-    }
-
-    // Counters are exact for any batching: every request took exactly one
-    // of the two paths.
-    const auto counters = server.counters("vdp");
-    EXPECT_EQ(counters.fallback, expected_fallback);
-    EXPECT_EQ(counters.primary, states.size() - expected_fallback);
-    EXPECT_GE(counters.batches, 1u);
-    EXPECT_LE(counters.max_batch_rows, sweep.max_batch);
   }
 }
 
@@ -552,6 +581,23 @@ TEST(ControllerServer, AllFallbackSliceNeverBuildsAnEmptyBatch) {
   EXPECT_EQ(counters.batches, 0u);  // the GEMM path never ran.
 }
 
+/// Extracts the RejectReason a rejected future carries, failing the test if
+/// it resolves to anything but a RejectedError.
+serve::RejectReason reject_reason(std::future<Vec> future) {
+  try {
+    (void)future.get();
+  } catch (const serve::RejectedError& error) {
+    return error.reason();
+  }
+  ADD_FAILURE() << "future did not carry a RejectedError";
+  return serve::RejectReason::kShutdown;
+}
+
+// The pinned submit-after-shutdown contract: submit() on a stopped server
+// does NOT throw — it returns a future whose get() throws
+// RejectedError(kShutdown), and the rejection shows up in the admission
+// counters.  Programmer errors (unknown name, wrong dimension) still throw
+// std::invalid_argument synchronously, stopped or not.
 TEST(ControllerServer, StopDrainsPendingAndRejectsNewWork) {
   serve::ControllerServer server;  // async defaults.
   server.register_controller("vdp", make_student(),
@@ -561,17 +607,215 @@ TEST(ControllerServer, StopDrainsPendingAndRejectsNewWork) {
   server.stop();
   EXPECT_EQ(pending.wait_for(std::chrono::seconds(0)),
             std::future_status::ready);
-  EXPECT_THROW((void)server.submit("vdp", {0.1, 0.2}), std::runtime_error);
+  EXPECT_EQ(pending.get(), server.act_reference("vdp", {0.1, 0.2}));
+
+  auto rejected = server.submit("vdp", {0.1, 0.2});
+  EXPECT_EQ(rejected.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(reject_reason(std::move(rejected)),
+            serve::RejectReason::kShutdown);
+  EXPECT_THROW((void)server.submit("vdp", {0.1}), std::invalid_argument);
+  EXPECT_THROW((void)server.submit("nope", {0.1, 0.2}),
+               std::invalid_argument);
+  const auto counters = server.counters("vdp");
+  EXPECT_EQ(counters.accepted, 1u);
+  EXPECT_EQ(counters.rejected, 1u);
+  EXPECT_EQ(counters.shed, 0u);
   server.stop();  // idempotent.
 }
 
-TEST(ControllerServer, SynchronousSubmitAlsoThrowsAfterStop) {
+TEST(ControllerServer, SynchronousSubmitIsAlsoRejectedAfterStop) {
   serve::ControllerServer server(sync_config());
   server.register_controller("vdp", make_student(),
                              std::make_shared<MarkerController>(2, 1),
                              serve::SafetyMonitor::trust_all());
   server.stop();
-  EXPECT_THROW((void)server.submit("vdp", {0.1, 0.2}), std::runtime_error);
+  EXPECT_EQ(reject_reason(server.submit("vdp", {0.1, 0.2})),
+            serve::RejectReason::kShutdown);
+  EXPECT_EQ(server.counters("vdp").rejected, 1u);
+}
+
+TEST(ControllerServer, RegistrationAfterStopThrows) {
+  serve::ControllerServer server;
+  server.register_controller("a", make_student(),
+                             std::make_shared<MarkerController>(2, 1),
+                             serve::SafetyMonitor::trust_all());
+  server.stop();
+  EXPECT_THROW(
+      server.register_controller("b", make_student(),
+                                 std::make_shared<MarkerController>(2, 1),
+                                 serve::SafetyMonitor::trust_all()),
+      std::runtime_error);
+}
+
+// --- ControllerServer: admission control / load shedding --------------------
+
+/// Fallback that reports when act() starts and then blocks until released —
+/// lets the shed test wedge the dispatcher deterministically.
+class GateController final : public ctrl::Controller {
+ public:
+  static constexpr double kGateMark = 7.5;
+
+  GateController(std::shared_ptr<std::atomic<int>> started,
+                 std::shared_future<void> release)
+      : started_(std::move(started)), release_(std::move(release)) {}
+
+  [[nodiscard]] Vec act(const Vec&) const override {
+    started_->fetch_add(1);
+    release_.wait();
+    return la::constant(1, kGateMark);
+  }
+  [[nodiscard]] std::size_t state_dim() const override { return 2; }
+  [[nodiscard]] std::size_t control_dim() const override { return 1; }
+  [[nodiscard]] std::string describe() const override { return "gate"; }
+
+ private:
+  std::shared_ptr<std::atomic<int>> started_;
+  std::shared_future<void> release_;
+};
+
+// Exact load-shedding: wedge the single dispatcher inside a blocking
+// fallback, fill the one shard ring to its capacity, and verify that every
+// further submission sheds with RejectedError(kQueueFull) — with accepted /
+// shed counters exact and every accepted request still answered after the
+// dispatcher is released.
+TEST(ControllerServer, FullShardsShedWithExactCounters) {
+  auto started = std::make_shared<std::atomic<int>>(0);
+  std::promise<void> release;
+  const std::shared_future<void> release_future =
+      release.get_future().share();
+
+  serve::ServeConfig config;
+  config.max_batch = 1;  // the wedged slice holds exactly one request.
+  config.max_wait = std::chrono::microseconds(0);
+  config.num_dispatchers = 1;
+  config.num_shards = 1;
+  config.shard_capacity = 2;
+  serve::ControllerServer server(config);
+  server.register_controller(
+      "vdp", make_student(),
+      std::make_shared<GateController>(started, release_future),
+      serve::SafetyMonitor());  // certifies nothing: everything falls back.
+
+  // The first request is popped by the dispatcher and blocks in act();
+  // waiting for started proves the ring is empty again.
+  auto wedged = server.submit("vdp", {0.0, 0.0});
+  while (started->load() == 0) std::this_thread::yield();
+
+  // Fill the ring (capacity 2) while the dispatcher is wedged...
+  auto queued_a = server.submit("vdp", {0.1, 0.1});
+  auto queued_b = server.submit("vdp", {0.2, 0.2});
+  // ...then overflow it: both submissions must shed immediately.
+  auto shed_a = server.submit("vdp", {0.3, 0.3});
+  auto shed_b = server.submit("vdp", {0.4, 0.4});
+  EXPECT_EQ(reject_reason(std::move(shed_a)), serve::RejectReason::kQueueFull);
+  EXPECT_EQ(reject_reason(std::move(shed_b)), serve::RejectReason::kQueueFull);
+
+  release.set_value();
+  const Vec gate_action = la::constant(1, GateController::kGateMark);
+  EXPECT_EQ(wedged.get(), gate_action);
+  EXPECT_EQ(queued_a.get(), gate_action);
+  EXPECT_EQ(queued_b.get(), gate_action);
+  server.drain();
+
+  const auto counters = server.counters("vdp");
+  EXPECT_EQ(counters.accepted, 3u);
+  EXPECT_EQ(counters.shed, 2u);
+  EXPECT_EQ(counters.rejected, 0u);
+  EXPECT_EQ(counters.fallback, 3u);
+  EXPECT_EQ(counters.primary, 0u);
+}
+
+// --- serve::MetricsRegistry --------------------------------------------------
+
+TEST(ServeMetrics, HistogramQuantilesInterpolateWithinFixedBuckets) {
+  serve::LatencyHistogram histogram;
+  EXPECT_EQ(histogram.quantiles().count, 0u);
+  for (int k = 0; k < 100; ++k) histogram.record_us(3.0);
+  const auto q = histogram.quantiles();
+  EXPECT_EQ(q.count, 100u);
+  // Every sample lands in the (2, 5] bucket: all quantiles interpolate
+  // inside it.
+  EXPECT_GT(q.p50_us, 2.0);
+  EXPECT_LE(q.p50_us, 5.0);
+  EXPECT_GT(q.p999_us, 2.0);
+  EXPECT_LE(q.p999_us, 5.0);
+  EXPECT_LE(q.p50_us, q.p99_us);
+  EXPECT_LE(q.p99_us, q.p999_us);
+  EXPECT_EQ(q.max_bound_us, 5.0);
+
+  // Corrupt samples clamp into the first bucket instead of vanishing.
+  histogram.record_us(std::numeric_limits<double>::quiet_NaN());
+  histogram.record_us(-1.0);
+  EXPECT_EQ(histogram.count(), 102u);
+
+  // A spread distribution keeps the quantiles ordered and in range.
+  serve::LatencyHistogram spread;
+  for (int k = 0; k < 990; ++k) spread.record_us(80.0);    // (50, 100]
+  for (int k = 0; k < 10; ++k) spread.record_us(4000.0);   // (2e3, 5e3]
+  const auto sq = spread.quantiles();
+  EXPECT_GT(sq.p50_us, 50.0);
+  EXPECT_LE(sq.p50_us, 100.0);
+  EXPECT_GT(sq.p999_us, 2000.0);
+  EXPECT_LE(sq.p999_us, 5000.0);
+}
+
+TEST(ServeMetrics, RegistryCountersAndSnapshotRates) {
+  serve::MetricsRegistry registry;
+  serve::Counter* counter = registry.counter("requests");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(registry.counter("requests"), counter);  // stable identity.
+  counter->add(5);
+  counter->increment();
+  EXPECT_EQ(counter->value(), 6u);
+  registry.histogram("lat")->record_us(10.0);
+
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].name, "requests");
+  EXPECT_EQ(snap.counters[0].value, 6u);
+  EXPECT_GE(snap.counters[0].rate_per_s, 0.0);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].name, "lat");
+  EXPECT_EQ(snap.histograms[0].q.count, 1u);
+  const std::string rendered = snap.format();
+  EXPECT_NE(rendered.find("requests"), std::string::npos);
+  EXPECT_NE(rendered.find("lat"), std::string::npos);
+
+  // The rate window advances: a second snapshot sees only the delta.
+  counter->add(4);
+  const auto second = registry.snapshot();
+  EXPECT_EQ(second.counters[0].value, 10u);
+}
+
+TEST(ServeMetrics, ServerPublishesLatencyRoutingAndAdmissionMetrics) {
+  serve::ServeConfig config;
+  config.max_batch = 8;
+  config.num_shards = 2;
+  serve::ControllerServer server(config);
+  server.register_controller("vdp", make_student(),
+                             std::make_shared<MarkerController>(2, 1),
+                             serve::SafetyMonitor::trust_all());
+  std::vector<std::future<Vec>> futures;
+  for (int k = 0; k < 20; ++k)
+    futures.push_back(server.submit("vdp", {0.01 * k, -0.01 * k}));
+  for (auto& future : futures) (void)future.get();
+  server.drain();
+
+  const auto snap = server.metrics().snapshot();
+  std::uint64_t latency_count = 0;
+  for (const auto& h : snap.histograms)
+    if (h.name == "serve.vdp.latency_us") latency_count = h.q.count;
+  EXPECT_EQ(latency_count, 20u);
+  std::uint64_t primary = 0, shard_accepted = 0;
+  for (const auto& c : snap.counters) {
+    if (c.name == "serve.vdp.primary") primary = c.value;
+    if (c.name == "serve.vdp.shard0.accepted" ||
+        c.name == "serve.vdp.shard1.accepted")
+      shard_accepted += c.value;
+  }
+  EXPECT_EQ(primary, 20u);
+  EXPECT_EQ(shard_accepted, 20u);
 }
 
 TEST(ControllerServer, ServesMultipleControllersFromOneQueue) {

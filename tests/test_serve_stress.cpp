@@ -3,12 +3,15 @@
 //
 // These tests assert almost nothing clever; their value is the interleaving
 // pressure they put on the lock/counter/shutdown contracts that
-// util/thread_pool.h and serve/controller_server.h annotate:
+// util/thread_pool.h, serve/mpmc_queue.h, and serve/controller_server.h
+// annotate or document:
 //   - many external submitters against one ThreadPool, mixed with
 //     concurrent parallel_for batches and size() reads;
-//   - many ControllerServer submitters against one dispatcher, mixed with
-//     concurrent counters() stats reads, drain() calls, registration under
-//     traffic, and a stop() racing live submitters.
+//   - many ControllerServer submitters against sharded MPMC queues and
+//     multiple dispatcher threads, mixed with concurrent counters() stats
+//     reads, drain() calls, registration under traffic, a stop() racing
+//     live submitters (the Dekker shutdown gate), and genuine load shedding
+//     under contention with exact accept/shed/reject accounting.
 // Under -fsanitize=thread any access these paths make outside the
 // documented discipline is a CI failure even when the assertions pass.
 #include <gtest/gtest.h>
@@ -139,6 +142,8 @@ TEST(ControllerServerStress, SubmittersStatsReadersDrainAndShutdown) {
   config.max_wait = std::chrono::microseconds(50);
   config.num_workers = 2;
   config.rows_per_chunk = 4;
+  config.num_dispatchers = 2;
+  config.num_shards = 2;  // rings far larger than total traffic: no sheds.
   serve::ControllerServer server(config);
 
   const auto student = make_student(11);
@@ -150,7 +155,7 @@ TEST(ControllerServerStress, SubmittersStatsReadersDrainAndShutdown) {
           sys::Box{{-1.0, -1.0}, {1.0, 1.0}}));
 
   std::atomic<bool> done{false};
-  std::atomic<long> accepted{0};
+  std::atomic<long> answered{0};
   std::atomic<long> rejected{0};
 
   // Stats reader: counters() must be callable at any moment and only ever
@@ -180,17 +185,20 @@ TEST(ControllerServerStress, SubmittersStatsReadersDrainAndShutdown) {
       for (int k = 0; k < kRequestsPerSubmitter; ++k) {
         // Deterministic mixed workload: ~half certified, ~half fallback.
         const double x = (k % 2 == 0) ? 0.25 : 3.0;
+        // submit() never throws for valid arguments — after stop() it
+        // returns a rejected future (the pinned shutdown contract).
+        auto future = server.submit("stress", Vec{x, 0.01 * t});
         try {
-          auto future = server.submit(
-              "stress", Vec{x, 0.01 * t});
-          accepted.fetch_add(1);
           const Vec action = future.get();
+          answered.fetch_add(1);
           ASSERT_EQ(action.size(), 1u);
           if (k % 2 != 0) {
             ASSERT_EQ(action[0], MarkController::kMark);
           }
-        } catch (const std::runtime_error&) {
-          // stop() won the race; everything after it must also reject.
+        } catch (const serve::RejectedError& error) {
+          // stop() won the race.  The queues are sized far above the total
+          // request count, so shutdown is the only legitimate rejection.
+          ASSERT_EQ(error.reason(), serve::RejectReason::kShutdown);
           rejected.fetch_add(1);
         }
       }
@@ -199,7 +207,7 @@ TEST(ControllerServerStress, SubmittersStatsReadersDrainAndShutdown) {
 
   // Let traffic build, then stop the server while submitters are still
   // running: accepted requests must all have been answered (future.get()
-  // above would otherwise hang), later submits must throw.
+  // above would otherwise hang), later submits must come back rejected.
   std::this_thread::sleep_for(std::chrono::milliseconds(50));
   server.stop();
 
@@ -208,19 +216,85 @@ TEST(ControllerServerStress, SubmittersStatsReadersDrainAndShutdown) {
   drainer.join();
   stats_reader.join();
 
-  EXPECT_EQ(accepted.load() + rejected.load(),
+  EXPECT_EQ(answered.load() + rejected.load(),
             static_cast<long>(kSubmitters) * kRequestsPerSubmitter);
   const auto counters = server.counters("stress");
   EXPECT_EQ(static_cast<long>(counters.primary + counters.fallback),
-            accepted.load());
-  EXPECT_THROW((void)server.submit("stress", Vec{0.0, 0.0}),
-               std::runtime_error);
+            answered.load());
+  EXPECT_EQ(static_cast<long>(counters.accepted), answered.load());
+  EXPECT_EQ(static_cast<long>(counters.rejected), rejected.load());
+  EXPECT_EQ(counters.shed, 0u);
+  auto post_stop = server.submit("stress", Vec{0.0, 0.0});
+  EXPECT_THROW((void)post_stop.get(), serve::RejectedError);
+}
+
+// The sharded-dispatcher acceptance stress: multiple dispatchers over more
+// shards, rings sized small enough that contention genuinely sheds, and the
+// admission accounting must still be exact — every submission ends up in
+// exactly one of {answered, shed}, the server-side counters agree with the
+// client-side tallies, and the per-shard breakdown sums to the totals.
+TEST(ControllerServerStress, ShardedDispatchersShedExactlyUnderContention) {
+  constexpr int kSubmitters = 8;
+  constexpr int kRequestsPerSubmitter = 200;
+
+  serve::ServeConfig config;
+  config.max_batch = 4;
+  config.max_wait = std::chrono::microseconds(20);
+  config.num_dispatchers = 2;
+  config.num_shards = 4;
+  config.shard_capacity = 8;  // tiny rings: floods genuinely shed.
+  serve::ControllerServer server(config);
+  server.register_controller(
+      "sharded", make_student(23), std::make_shared<MarkController>(),
+      serve::SafetyMonitor::inside_box(sys::Box{{-1.0, -1.0}, {1.0, 1.0}}));
+
+  std::atomic<long> answered{0};
+  std::atomic<long> shed{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int k = 0; k < kRequestsPerSubmitter; ++k) {
+        const double x = (k % 2 == 0) ? 0.25 : 3.0;
+        auto future = server.submit("sharded", Vec{x, 0.01 * t});
+        try {
+          const Vec action = future.get();
+          answered.fetch_add(1);
+          if (k % 2 != 0) ASSERT_EQ(action[0], MarkController::kMark);
+        } catch (const serve::RejectedError& error) {
+          ASSERT_EQ(error.reason(), serve::RejectReason::kQueueFull);
+          shed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : submitters) thread.join();
+  server.drain();
+
+  constexpr long kTotal = static_cast<long>(kSubmitters) *
+                          kRequestsPerSubmitter;
+  EXPECT_EQ(answered.load() + shed.load(), kTotal);
+  const auto counters = server.counters("sharded");
+  EXPECT_EQ(static_cast<long>(counters.accepted), answered.load());
+  EXPECT_EQ(static_cast<long>(counters.shed), shed.load());
+  EXPECT_EQ(counters.rejected, 0u);
+  EXPECT_EQ(static_cast<long>(counters.accepted + counters.shed), kTotal);
+  EXPECT_EQ(counters.primary + counters.fallback, counters.accepted);
+  ASSERT_EQ(counters.shards.size(), 4u);
+  std::uint64_t by_shard_accepted = 0, by_shard_shed = 0;
+  for (const auto& shard : counters.shards) {
+    by_shard_accepted += shard.accepted;
+    by_shard_shed += shard.shed;
+  }
+  EXPECT_EQ(by_shard_accepted, counters.accepted);
+  EXPECT_EQ(by_shard_shed, counters.shed);
 }
 
 TEST(ControllerServerStress, RegistrationUnderLiveTraffic) {
   serve::ServeConfig config;
   config.max_batch = 4;
   config.max_wait = std::chrono::microseconds(20);
+  config.num_dispatchers = 2;
+  config.num_shards = 2;
   serve::ControllerServer server(config);
   server.register_controller("base", make_student(1),
                              std::make_shared<MarkController>(),

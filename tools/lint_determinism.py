@@ -23,9 +23,13 @@ raw-parallel-dispatch   Direct ThreadPool::parallel_for call outside the
 fp-accumulate-parallel  Compound assignment (+=, -=, *=, /=) or ++/-- on a
                         variable captured from outside the body of a lambda
                         handed to parallel_for/run_chunks/chunked_for/
-                        submit.  A shared accumulator mutated from parallel
-                        bodies is both a data race and a
-                        scheduling-dependent FP reduction.
+                        submit, or run as a std::thread body (the raw
+                        dispatch vector of the sharded serving tier: MPMC
+                        dispatcher threads draining try_pop loops).  A
+                        shared accumulator mutated from parallel bodies is
+                        both a data race and a scheduling-dependent FP
+                        reduction — MPMC pop order is scheduling-dependent
+                        by construction.
 rng-source              Nondeterministic randomness: std::random_device,
                         rand()/srand(), <random> engines, or time-derived
                         seeds outside util/rng (the one sanctioned RNG).
@@ -217,8 +221,13 @@ INCDEC_RE = re.compile(
 
 def scan_parallel_extents(path: str, text: str, offsets: list[int],
                           findings: list[Finding]) -> None:
-    for call in re.finditer(r"\b(?:parallel_for|run_chunks|chunked_for|"
-                            r"submit)\s*\(", text):
+    # A std::thread constructor is a parallel extent too: the sharded
+    # serving tier's dispatcher threads drain lock-free MPMC queues in
+    # hand-rolled loops, and anything they accumulate into captured state
+    # folds in scheduling (pop) order.
+    for call in re.finditer(r"(?:\b(?:parallel_for|run_chunks|chunked_for|"
+                            r"submit)|std::thread(?:\s+[A-Za-z_]\w*)?)"
+                            r"\s*\(", text):
         call_open = call.end() - 1
         call_close = match_forward(text, call_open, "(", ")")
         args = text[call_open:call_close]
@@ -439,6 +448,38 @@ SELF_TEST_CASES = [
      "  stats.total += 1.0;\n"
      "});\n",
      ["fp-accumulate-parallel"]),
+    # MPMC raw-dispatch fixtures: a dispatcher thread draining a lock-free
+    # shard queue is a parallel extent — pop order is scheduling-dependent,
+    # so captured accumulation there is exactly the nondeterministic FP
+    # fold the serving tier must not contain.
+    ("mpmc dispatcher thread accumulating captured state",
+     "std::thread dispatcher([&] {\n"
+     "  Request request;\n"
+     "  while (shard.queue.try_pop(request)) {\n"
+     "    total_energy += request.energy;\n"
+     "  }\n"
+     "});\n",
+     ["fp-accumulate-parallel"]),
+    ("mpmc dispatcher draining into per-request slots is fine",
+     "std::thread dispatcher([&] {\n"
+     "  Request request;\n"
+     "  while (shard.queue.try_pop(request)) {\n"
+     "    double local = score(request);\n"
+     "    local += request.bias;\n"
+     "    out[request.slot] = local;\n"
+     "  }\n"
+     "});\n",
+     []),
+    ("mpmc dispatcher metric increment needs a justified waiver",
+     "std::thread dispatcher([&] {\n"
+     "  Request request;\n"
+     "  while (shard.queue.try_pop(request)) {\n"
+     "    // DETLINT-ALLOW(fp-accumulate-parallel): relaxed monotonic "
+     "metric, never feeds a result\n"
+     "    ++popped;\n"
+     "  }\n"
+     "});\n",
+     []),
     ("random_device flagged",
      "std::random_device rd;\n",
      ["rng-source"]),
